@@ -1,0 +1,132 @@
+// paperexample reproduces the paper's worked example end to end:
+//
+//   - Fig 3: the evolution of the global root graph (root 1 creates 2;
+//     2 creates 3 and 4; third-party transfers build edges 4→3, 3→4, 4→2;
+//     the root edge 1→2 is destroyed).
+//
+//   - Fig 4/5: the log-keeping events with their dependency-vector state,
+//     printed per event.
+//
+//   - Fig 7: lazy log-keeping — the transfers send no control messages
+//     (only the deferred edge-asserts this reproduction adds; see
+//     DESIGN.md).
+//
+//   - Fig 8: the evolution of each global root's log during GGD, ending
+//     with the whole cycle {2,3,4} detected and reclaimed.
+//
+//     go run ./examples/paperexample
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"causalgc/internal/heap"
+	"causalgc/internal/ids"
+	"causalgc/internal/netsim"
+	"causalgc/internal/sim"
+	"causalgc/internal/site"
+	"causalgc/internal/vclock"
+)
+
+func main() {
+	// Print each global root's final log as GGD removes it: the bottom
+	// rows of Fig 8.
+	var order []ids.ClusterID
+	names := map[ids.ClusterID]string{}
+	opts := site.DefaultOptions()
+	opts.Engine.RemoveObserver = func(id ids.ClusterID, l *vclock.Log, clock uint64) {
+		fmt.Printf("  GGD removes %s (clock %d); final log:\n", names[id], clock)
+		for _, line := range splitLines(l.Render(order)) {
+			fmt.Printf("    %s\n", line)
+		}
+	}
+	w := sim.NewWorld(4, netsim.Faults{Seed: 1}, opts)
+	s1, s2 := w.Site(1), w.Site(2)
+
+	fmt.Println("== Fig 3: building the global root graph ==")
+	obj2 := step(w, "e2,1: root 1 creates 2", func() (heap.Ref, error) {
+		return s1.NewRemote(s1.Root().Obj, 2)
+	})
+	obj3 := step(w, "e3,1: 2 creates 3", func() (heap.Ref, error) {
+		return s2.NewRemote(obj2.Obj, 3)
+	})
+	obj4 := step(w, "e4,1: 2 creates 4", func() (heap.Ref, error) {
+		return s2.NewRemote(obj2.Obj, 4)
+	})
+	check(s2.SendRef(obj2.Obj, obj4, obj3))
+	fmt.Println("e3,2: 2 sends 4 a reference to 3   (edge 4→3)")
+	check(s2.SendRef(obj2.Obj, obj3, obj4))
+	fmt.Println("e4,2: 2 sends 3 a reference to 4   (edge 3→4)")
+	check(s2.SendRef(obj2.Obj, obj4, obj2))
+	fmt.Println("e2,2: 2 sends its own reference to 4 (edge 4→2)")
+	check(w.Run())
+
+	order = []ids.ClusterID{s1.Root().Cluster, obj2.Cluster, obj3.Cluster, obj4.Cluster}
+	names[s1.Root().Cluster] = "1(root)"
+	names[obj2.Cluster] = "2"
+	names[obj3.Cluster] = "3"
+	names[obj4.Cluster] = "4"
+
+	fmt.Println("\n== Fig 5: logs after the mutator phase (columns 1,2,3,4) ==")
+	dump := func() {
+		for _, ref := range []heap.Ref{obj2, obj3, obj4} {
+			l := w.Site(ref.Obj.Site).LogSnapshot(ref.Cluster)
+			if l == nil {
+				fmt.Printf("  %s: (removed)\n", names[ref.Cluster])
+				continue
+			}
+			fmt.Printf("  log of %s:\n", names[ref.Cluster])
+			for _, line := range splitLines(l.Render(order)) {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+	}
+	dump()
+
+	fmt.Println("\n== Fig 7: lazy log-keeping traffic so far ==")
+	st := w.Net().Stats()
+	fmt.Printf("  mutator messages: create=%d ref=%d\n", st.Sent("mut.create"), st.Sent("mut.ref"))
+	fmt.Printf("  GGD rounds:       destroy=%d propagate=%d (deferred asserts: %d)\n",
+		st.Sent("ggd.destroy"), st.Sent("ggd.prop"), st.Sent("ggd.assert"))
+
+	fmt.Println("\n== Fig 8: e2,3 — the root destroys edge 1→2; GGD runs ==")
+	// Observe each removal with its final log (the bottom rows of Fig 8).
+	check(s1.DropRefs(s1.Root().Obj, obj2))
+	check(w.Settle())
+
+	rep := w.Check()
+	fmt.Printf("\nafter GGD: oracle %v\n", rep)
+	fmt.Printf("cluster 2 removed: %v\n", w.Site(2).ClusterRemoved(obj2.Cluster))
+	fmt.Printf("cluster 3 removed: %v\n", w.Site(3).ClusterRemoved(obj3.Cluster))
+	fmt.Printf("cluster 4 removed: %v\n", w.Site(4).ClusterRemoved(obj4.Cluster))
+	fmt.Printf("\ntotal traffic:\n%s", st)
+}
+
+func step(w *sim.World, label string, f func() (heap.Ref, error)) heap.Ref {
+	ref, err := f()
+	check(err)
+	check(w.Run())
+	fmt.Printf("%s → %v\n", label, ref)
+	return ref
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	return append(out, cur)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,750 @@
+// Package core implements the paper's contribution: comprehensive Global
+// Garbage Detection (GGD) by reconstructing the vector times of the
+// mutator's log-keeping events (§3).
+//
+// One Engine runs per site and hosts one process per local cluster (global
+// root). The engine is driven by:
+//
+//   - lazy log-keeping hooks from the heap (EdgeUp/EdgeDown/SentRef, §3.4);
+//   - edge-assert control messages (HandleAssert) — see below;
+//   - edge-destruction control messages (HandleDestroy, §3.1);
+//   - dependency-vector propagations (HandlePropagate, §3.3 step 3);
+//   - explicit refresh rounds (Refresh), the §5 recovery mechanism.
+//
+// # Realisation of the paper's Fig 6
+//
+// The scanned pseudo-code is OCR-lossy; this implementation follows the
+// reconstruction documented in DESIGN.md §2. Stamps are edge-keyed: the
+// value in column q of a process's own vector concerns exactly the edge
+// q→process and lives in q's clock space, so merges are totally ordered
+// per edge and the logs converge monotonically.
+//
+// # The introduction race and edge-asserts
+//
+// The paper's sender-side third-party entries (DV_i[k][j]++, §3.4) are
+// counters in the *sender's* number space, while destruction stamps Ē are
+// in the *edge source's* clock space. Merging them by magnitude — as the
+// paper's max-merge does — lets an old Ē mask a newer in-flight
+// introduction of the same edge: process j drops its last reference to k
+// (Ē shipped), a third party's forwarded reference re-creates the edge
+// j→k, and k, having merged the bigger Ē over the small count, removes
+// itself while j holds a live reference. Randomised stress tests readily
+// find this race (demonstrated by the A2 ablation experiment).
+//
+// This implementation therefore keeps the two kinds of knowledge apart:
+//
+//   - Authoritative stamps: only the edge's source writes them (creation
+//     on acquisition, Ē on destruction), totally ordered per edge.
+//   - Introduction hints (col, introducer, forwarding-seq): conservative
+//     liveness recorded from bundles and gossip; a pending hint blocks a
+//     garbage verdict.
+//
+// A hint is resolved by the source's word issued causally after the
+// forwarded reference arrived: the source sends one small idempotent
+// edge-assert when it first acquires the reference, and its destruction
+// bundles carry the introductions it has processed. Asserts are deferred,
+// idempotent, loss-tolerant GGD-plane messages — the mutator's exchange
+// itself still carries no synchronous control traffic, preserving the
+// substance of the paper's lazy log-keeping claim (the assert count is
+// reported separately by every benchmark).
+//
+// Detection then proceeds exactly as in §3.6: GGD work starts when an
+// edge-destruction message arrives, first-hand vectors circulate along
+// the edges of the global root graph (with row gossip) until the logs
+// reach a fixpoint, and garbage removal cascades through finalisation
+// destroys — collecting distributed cycles without any global consensus.
+package core
+
+import (
+	"fmt"
+
+	"causalgc/internal/ids"
+	"causalgc/internal/vclock"
+)
+
+// Propagation is the payload of a dependency-vector propagation (§3.3
+// step 3): the sender's first-hand incoming-edge state and clock, relayed
+// copies of other processes' first-hand rows, and the sender's own
+// on-behalf entries. Everything merges per edge at the receiver, so
+// propagations are idempotent and tolerate loss, duplication and
+// reordering (§5).
+type Propagation struct {
+	Clock    uint64
+	Auth     vclock.Vector
+	HintCols []ids.ClusterID
+	Rows     map[ids.ClusterID]RowGossip
+	OBs      map[ids.ClusterID]OBGossip
+}
+
+// RowGossip is a relayed copy of a process's first-hand state.
+type RowGossip struct {
+	Auth     vclock.Vector
+	HintCols []ids.ClusterID
+}
+
+// OBGossip is the sender's first-hand on-behalf entries for one process.
+type OBGossip struct {
+	Auth  vclock.Vector
+	Hints vclock.Vector
+}
+
+// DestroyMsg is the §3.4 edge-destruction control message: the sender's
+// authoritative stamps for the target's incoming edges (its own column
+// replaced by Ē), the forwarding hints it brokered — "multiple
+// edge-creation control messages bundled with an edge-destruction control
+// message in one atomic delivery" — and the introductions it processed
+// for its own edge, which resolve the corresponding hints at the target.
+type DestroyMsg struct {
+	Auth      vclock.Vector
+	Hints     vclock.Vector
+	Processed vclock.Vector
+}
+
+// AssertMsg is the edge-assert: the source's authoritative live stamp for
+// its edge to the target, resolving the introduction (Intro, IntroSeq).
+type AssertMsg struct {
+	Stamp    uint64
+	Intro    ids.ClusterID
+	IntroSeq uint64
+}
+
+// Sender transmits GGD control messages to other sites. The site runtime
+// implements it on top of the network; local deliveries never touch it.
+type Sender interface {
+	SendDestroy(from, to ids.ClusterID, m DestroyMsg)
+	SendPropagate(from, to ids.ClusterID, m Propagation)
+	SendAssert(from, to ids.ClusterID, m AssertMsg)
+}
+
+// Stats counts engine activity for the experiment harness.
+type Stats struct {
+	// Removed counts clusters detected as garbage and removed.
+	Removed int
+	// Evaluations counts closure computations.
+	Evaluations int
+	// PropagationsSent counts dependency vectors sent (local and remote).
+	PropagationsSent int
+	// DestroysSent counts edge-destruction messages sent (local and
+	// remote), including finalisation destroys.
+	DestroysSent int
+	// AssertsSent counts edge-assert messages sent.
+	AssertsSent int
+	// StaleDeliveries counts messages addressed to removed or unknown
+	// processes (harmless; dropped).
+	StaleDeliveries int
+}
+
+// Options tune the engine.
+type Options struct {
+	// UnsafeSkipConfirmation disables the row-confirmation guard
+	// (DESIGN.md interpretation #4). A2 ablation only.
+	UnsafeSkipConfirmation bool
+	// UnsafeNoHints disables introduction hints and edge-asserts,
+	// reproducing the paper's raw max-merge of counts and Ē stamps. A2
+	// ablation only: exhibits the introduction race.
+	UnsafeNoHints bool
+	// RemoveObserver, when non-nil, is called with the process's final log
+	// just before removal (diagnostics and the trace tooling).
+	RemoveObserver func(id ids.ClusterID, log *vclock.Log, clock uint64)
+}
+
+// Engine is one site's GGD runtime. It is not safe for concurrent use;
+// the site runtime serialises access.
+type Engine struct {
+	site     ids.SiteID
+	send     Sender
+	onRemove func(ids.ClusterID)
+	opts     Options
+
+	procs     map[ids.ClusterID]*process
+	tombstone map[ids.ClusterID]uint64 // removed cluster → final clock
+
+	inbox    []delivery
+	draining bool
+	// pending buffers control messages that raced ahead of their target's
+	// creation message (reordered channels): replayed on Register. Bounded
+	// per cluster; overflow falls back to dropping (loss-equivalent, safe).
+	pending map[ids.ClusterID][]delivery
+
+	stats Stats
+}
+
+// process is the per-global-root state: the paper's "each global root
+// appears as a process" (§3.1).
+type process struct {
+	id    ids.ClusterID
+	clock uint64
+	log   *vclock.Log
+	// acq is the paper's Acquaintances_i: the targets of the process's
+	// live out-edges in the global root graph, i.e. its remote successors.
+	acq ids.ClusterSet
+	// active marks participation in a GGD episode: set when a destroy or
+	// a propagation arrives (§3.6: "GGD is only triggered when the edge
+	// ... is removed"). Edge-asserts received by inactive processes are
+	// plain bookkeeping and do not start propagation rounds, keeping pure
+	// mutation free of GGD fan-out.
+	active bool
+}
+
+type delivery struct {
+	to, from ids.ClusterID
+	kind     deliveryKind
+	destroy  DestroyMsg
+	prop     Propagation
+	assert   AssertMsg
+}
+
+type deliveryKind int
+
+const (
+	deliverDestroy deliveryKind = iota + 1
+	deliverPropagate
+	deliverAssert
+)
+
+// New creates an engine. send must not be nil; onRemove is invoked for
+// every cluster the engine removes (the site runtime clears the heap's
+// entry table there) and may be nil.
+func New(site ids.SiteID, send Sender, onRemove func(ids.ClusterID), opts Options) *Engine {
+	return &Engine{
+		site:      site,
+		send:      send,
+		onRemove:  onRemove,
+		opts:      opts,
+		procs:     make(map[ids.ClusterID]*process),
+		tombstone: make(map[ids.ClusterID]uint64),
+		pending:   make(map[ids.ClusterID][]delivery),
+	}
+}
+
+// Stats returns a copy of the activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Register creates the process for a local cluster. Registering an
+// existing or tombstoned process is a no-op (idempotent).
+func (e *Engine) Register(cl ids.ClusterID) {
+	if cl.Site != e.site {
+		panic(fmt.Sprintf("core %v: register foreign cluster %v", e.site, cl))
+	}
+	if _, ok := e.procs[cl]; ok {
+		return
+	}
+	if _, dead := e.tombstone[cl]; dead {
+		return
+	}
+	e.procs[cl] = &process{
+		id:  cl,
+		log: vclock.NewLog(cl),
+		acq: ids.NewClusterSet(),
+	}
+	if buffered := e.pending[cl]; len(buffered) > 0 {
+		delete(e.pending, cl)
+		e.inbox = append(e.inbox, buffered...)
+	}
+}
+
+// Registered reports whether cl has a live process.
+func (e *Engine) Registered(cl ids.ClusterID) bool {
+	_, ok := e.procs[cl]
+	return ok
+}
+
+// Removed reports whether cl was detected as garbage and removed.
+func (e *Engine) Removed(cl ids.ClusterID) bool {
+	_, dead := e.tombstone[cl]
+	return dead
+}
+
+// Clock returns the process's current event counter (final counter for
+// removed processes).
+func (e *Engine) Clock(cl ids.ClusterID) uint64 {
+	if p := e.procs[cl]; p != nil {
+		return p.clock
+	}
+	return e.tombstone[cl]
+}
+
+// LogSnapshot returns a deep copy of the process's log (trace tooling), or
+// nil for removed/unknown processes.
+func (e *Engine) LogSnapshot(cl ids.ClusterID) *vclock.Log {
+	if p := e.procs[cl]; p != nil {
+		return p.log.Clone()
+	}
+	return nil
+}
+
+// Acquaintances returns the process's current successors, sorted.
+func (e *Engine) Acquaintances(cl ids.ClusterID) []ids.ClusterID {
+	if p := e.procs[cl]; p != nil {
+		return p.acq.Sorted()
+	}
+	return nil
+}
+
+// Processes returns the live local processes, sorted.
+func (e *Engine) Processes() []ids.ClusterID {
+	out := make([]ids.ClusterID, 0, len(e.procs))
+	for id := range e.procs {
+		out = append(out, id)
+	}
+	ids.SortClusters(out)
+	return out
+}
+
+// --- Lazy log-keeping (§3.4) -------------------------------------------
+
+// EdgeUp records the creation (or re-assertion) of the global-root-graph
+// edge holder→target, stamped in the holder's clock space. intro and
+// introSeq identify the introduction being consumed (the cluster whose
+// forwarded reference created the edge, and its forwarding sequence
+// number); they are zero for locally originated references.
+//
+// For a local target everything is written directly (same site, atomic).
+// For a remote target the holder records its authoritative stamp on
+// behalf of the target and, on a 0→1 transition, sends one deferred
+// idempotent edge-assert so the target can resolve the introduction.
+func (e *Engine) EdgeUp(holder, target ids.ClusterID, first bool, intro ids.ClusterID, introSeq uint64) {
+	if holder == target {
+		return
+	}
+	p, ok := e.procs[holder]
+	if !ok {
+		e.stats.StaleDeliveries++
+		return
+	}
+	p.clock++
+	stamp := vclock.At(p.clock)
+	if first {
+		p.acq.Add(target)
+	}
+	if target.Site == e.site {
+		if t, tok := e.procs[target]; tok {
+			t.log.Own().MergeEntry(holder, stamp)
+			if intro.Valid() && introSeq > 0 && introSeq != ids.CreationSeq {
+				t.log.Hints().Clear(holder, intro, introSeq)
+			}
+		}
+		return
+	}
+	ob := p.log.OB(target)
+	ob.Auth.MergeEntry(holder, stamp)
+	creation := introSeq == ids.CreationSeq
+	if intro.Valid() && introSeq > 0 && !creation {
+		ob.Processed.MergeEntry(intro, vclock.At(introSeq))
+	}
+	// A creation needs no assert: the creation message itself carries the
+	// authoritative stamp to the new cluster.
+	if first && !creation && !e.opts.UnsafeNoHints {
+		e.stats.AssertsSent++
+		m := AssertMsg{Stamp: p.clock, Intro: intro, IntroSeq: introSeq}
+		e.send.SendAssert(holder, target, m)
+	}
+}
+
+// SentRef records that the holder forwarded a reference denoting target
+// to the cluster dest — the paper's DV_i[k][j]++ (third party) and
+// DV_i[i][j]++ (own reference) — and returns the forwarding sequence
+// number to embed in the mutator message.
+func (e *Engine) SentRef(holder, target, dest ids.ClusterID) uint64 {
+	if target == dest {
+		return 0
+	}
+	p, ok := e.procs[holder]
+	if !ok {
+		e.stats.StaleDeliveries++
+		return 0
+	}
+	p.clock++
+	seq := p.clock
+	if target == holder {
+		// Sending one's own reference: the pending edge dest→holder is a
+		// self-introduced hint on the holder's own vector, resolved when
+		// dest's assert or destruction bundle arrives.
+		if !e.opts.UnsafeNoHints {
+			p.log.Hints().Arm(dest, holder, seq)
+		}
+		return seq
+	}
+	if target.Site == e.site {
+		// Local target: arm its hint directly (same site, atomic).
+		if t, tok := e.procs[target]; tok && !e.opts.UnsafeNoHints {
+			t.log.Hints().Arm(dest, holder, seq)
+		}
+		return seq
+	}
+	p.log.OB(target).Hints.MergeEntry(dest, vclock.At(seq))
+	return seq
+}
+
+// EdgeDown records the destruction of the last reference behind the edge
+// holder→target and emits the edge-destruction control message (§3.4):
+// the authoritative stamps with the holder's column replaced by Ē, the
+// bundled forwarding hints, and the processed-introduction record. The
+// delivery is queued; callers run Drain at a safe point.
+func (e *Engine) EdgeDown(holder, target ids.ClusterID) {
+	if holder == target {
+		return
+	}
+	p, ok := e.procs[holder]
+	if !ok {
+		e.stats.StaleDeliveries++
+		return
+	}
+	p.clock++
+	p.acq.Remove(target)
+	if target.Site == e.site {
+		// Local destruction: deliver a minimal destroy so the receive path
+		// merges, evaluates and propagates uniformly. Hints and processed
+		// records were already written directly at forward/acquire time.
+		e.queueDestroy(holder, target, DestroyMsg{
+			Auth: vclock.Vector{holder: vclock.Eps(p.clock)},
+		})
+		return
+	}
+	ob := p.log.OB(target)
+	ob.Auth.MergeEntry(holder, vclock.Eps(p.clock))
+	e.queueDestroy(holder, target, DestroyMsg{
+		Auth:      ob.Auth.Clone(),
+		Hints:     ob.Hints.Clone(),
+		Processed: ob.Processed.Clone(),
+	})
+}
+
+// RemoteCreationStamp returns the holder's current clock, the stamp to
+// piggyback on a creation message. Callers perform the heap write (whose
+// EdgeUp hook bumps the clock for the creation event) before sending.
+func (e *Engine) RemoteCreationStamp(holder ids.ClusterID) uint64 {
+	return e.Clock(holder)
+}
+
+// HandleCreate registers the process for a cluster created on behalf of a
+// remote creator and records the incoming edge with the piggybacked stamp
+// (the one log-keeping datum the physical creation message carries).
+func (e *Engine) HandleCreate(cl, creator ids.ClusterID, stamp uint64) {
+	e.Register(cl)
+	p, ok := e.procs[cl]
+	if !ok {
+		e.stats.StaleDeliveries++
+		return
+	}
+	p.log.Own().MergeEntry(creator, vclock.At(stamp))
+}
+
+// --- GGD message handling (§3.3, Fig 6) ---------------------------------
+
+// HandleDestroy processes an incoming edge-destruction control message.
+func (e *Engine) HandleDestroy(to, from ids.ClusterID, m DestroyMsg) {
+	e.inbox = append(e.inbox, delivery{to: to, from: from, kind: deliverDestroy, destroy: m})
+	e.Drain()
+}
+
+// HandlePropagate processes an incoming dependency-vector propagation.
+func (e *Engine) HandlePropagate(to, from ids.ClusterID, m Propagation) {
+	e.inbox = append(e.inbox, delivery{to: to, from: from, kind: deliverPropagate, prop: m})
+	e.Drain()
+}
+
+// HandleAssert processes an incoming edge-assert.
+func (e *Engine) HandleAssert(to, from ids.ClusterID, m AssertMsg) {
+	e.inbox = append(e.inbox, delivery{to: to, from: from, kind: deliverAssert, assert: m})
+	e.Drain()
+}
+
+// Drain processes queued deliveries until quiescence. Safe to call at any
+// time; reentrant calls (hooks firing inside Drain) queue work for the
+// outer invocation.
+func (e *Engine) Drain() {
+	if e.draining {
+		return
+	}
+	e.draining = true
+	defer func() { e.draining = false }()
+	for len(e.inbox) > 0 {
+		d := e.inbox[0]
+		e.inbox = e.inbox[1:]
+		e.receive(d)
+	}
+}
+
+// receive is the paper's Receive procedure (Fig 6).
+func (e *Engine) receive(d delivery) {
+	p, ok := e.procs[d.to]
+	if !ok {
+		if _, dead := e.tombstone[d.to]; !dead && d.to.Site == e.site && len(e.pending[d.to]) < 64 {
+			// The target's creation message has not arrived yet
+			// (reordered channels): buffer and replay on Register.
+			e.pending[d.to] = append(e.pending[d.to], d)
+			return
+		}
+		// Stale traffic to a removed or unknown process: dropped. Message
+		// loss never compromises safety (§5), so neither does this.
+		e.stats.StaleDeliveries++
+		return
+	}
+	changed := false
+	if d.kind != deliverAssert {
+		p.active = true
+	}
+	switch d.kind {
+	case deliverDestroy:
+		own := p.log.Own()
+		prior := own.Get(d.from)
+		if prior.Merge(d.destroy.Auth.Get(d.from)) != prior {
+			// A genuine (non-duplicate) destruction is a log-keeping
+			// event: bump the clock (§3.1).
+			p.clock++
+			changed = true
+		}
+		if own.MergeAll(d.destroy.Auth) {
+			changed = true
+		}
+		// The bundled third-party introductions (§3.4): arm hints with
+		// the sender as introducer; the introductions the sender already
+		// processed for its own edge resolve the matching hints.
+		if !e.opts.UnsafeNoHints {
+			for col, s := range d.destroy.Hints {
+				if p.log.Hints().Arm(col, d.from, s.Seq) {
+					changed = true
+				}
+			}
+			for intro, s := range d.destroy.Processed {
+				if p.log.Hints().Clear(d.from, intro, s.Seq) {
+					changed = true
+				}
+			}
+		}
+
+	case deliverAssert:
+		if p.log.Own().MergeEntry(d.from, vclock.At(d.assert.Stamp)) {
+			changed = true
+		}
+		if d.assert.Intro.Valid() && d.assert.IntroSeq > 0 {
+			if p.log.Hints().Clear(d.from, d.assert.Intro, d.assert.IntroSeq) {
+				changed = true
+			}
+		}
+
+	case deliverPropagate:
+		m := d.prop
+		// Record the sender's first-hand vector as its confirmed row, and
+		// refresh the own vector's column for the sender: the propagation
+		// travelled the live edge sender→me, re-asserting it with the
+		// sender's current clock.
+		if p.log.MergeVRow(d.from, m.Auth, m.HintCols, true, true) {
+			changed = true
+		}
+		if p.log.Own().MergeEntry(d.from, vclock.At(m.Clock)) {
+			changed = true
+		}
+		for owner, row := range m.Rows {
+			if owner == d.to {
+				continue // relayed copies of my own vector are subsets
+			}
+			if p.log.MergeVRow(owner, row.Auth, row.HintCols, false, true) {
+				changed = true
+			}
+		}
+		for target, ob := range m.OBs {
+			if target == d.to {
+				// First-hand on-behalf entries about me: authoritative
+				// stamps merge into the own vector; forwarding hints arm
+				// with the sender as introducer.
+				if p.log.Own().MergeAll(ob.Auth) {
+					changed = true
+				}
+				if !e.opts.UnsafeNoHints {
+					for col, s := range ob.Hints {
+						if p.log.Hints().Arm(col, d.from, s.Seq) {
+							changed = true
+						}
+					}
+				}
+				continue
+			}
+			// Knowledge about a third process folds into its row as
+			// relayed, attribution-free data: authoritative stamps by
+			// value, hints as conservative live columns.
+			hintCols := make([]ids.ClusterID, 0, len(ob.Hints))
+			for col, s := range ob.Hints {
+				if s.Live() {
+					hintCols = append(hintCols, col)
+				}
+			}
+			if p.log.MergeVRow(target, ob.Auth, hintCols, false, false) {
+				changed = true
+			}
+		}
+	}
+	e.evaluate(p, changed)
+}
+
+// evaluate runs ComputeV and acts on the outcome: removal when the
+// closure certifies garbage, propagation when the log changed (new
+// first-hand or relayed knowledge circulates onward for cycle-wide
+// convergence).
+func (e *Engine) evaluate(p *process, changed bool) {
+	e.stats.Evaluations++
+	res := p.log.Closure(p.clock)
+	if e.opts.UnsafeSkipConfirmation {
+		res.Complete = true
+	}
+	if res.Garbage() && !p.id.IsRoot() {
+		e.remove(p)
+		return
+	}
+	if changed && p.active {
+		e.propagate(p, res)
+	}
+}
+
+// assemble builds the propagation payload: the own first-hand state, the
+// confirmed rows of the closure's expanded ancestry, and the first-hand
+// on-behalf entries — the "increasingly accurate approximations"
+// circulated along the paths of the global root graph (§3.3).
+func (e *Engine) assemble(p *process, res vclock.ClosureResult) Propagation {
+	m := Propagation{
+		Clock:    p.clock,
+		Auth:     p.log.Own().Clone(),
+		HintCols: p.log.Hints().Cols(),
+	}
+	for _, q := range res.Expanded.Sorted() {
+		if q == p.id || q.IsRoot() {
+			continue
+		}
+		r := p.log.PeekVRow(q)
+		if r == nil || !r.Confirmed {
+			continue
+		}
+		if m.Rows == nil {
+			m.Rows = make(map[ids.ClusterID]RowGossip)
+		}
+		m.Rows[q] = RowGossip{Auth: r.Auth.Clone(), HintCols: r.HintCols.Sorted()}
+	}
+	for _, x := range p.log.Processes() {
+		if x == p.id {
+			continue
+		}
+		ob := p.log.PeekOB(x)
+		if ob == nil || (len(ob.Auth) == 0 && len(ob.Hints) == 0) {
+			continue
+		}
+		if m.OBs == nil {
+			m.OBs = make(map[ids.ClusterID]OBGossip)
+		}
+		m.OBs[x] = OBGossip{Auth: ob.Auth.Clone(), Hints: ob.Hints.Clone()}
+	}
+	return m
+}
+
+// propagate sends the payload along every out-edge (§3.3 step 3).
+func (e *Engine) propagate(p *process, res vclock.ClosureResult) {
+	acq := p.acq.Sorted()
+	if len(acq) == 0 {
+		return
+	}
+	m := e.assemble(p, res)
+	for _, k := range acq {
+		e.stats.PropagationsSent++
+		if k.Site == e.site {
+			e.inbox = append(e.inbox, delivery{to: k, from: p.id, kind: deliverPropagate, prop: cloneProp(m)})
+		} else {
+			e.send.SendPropagate(p.id, k, cloneProp(m))
+		}
+	}
+}
+
+func cloneProp(m Propagation) Propagation {
+	out := Propagation{Clock: m.Clock, Auth: m.Auth.Clone()}
+	out.HintCols = append(out.HintCols, m.HintCols...)
+	if m.Rows != nil {
+		out.Rows = make(map[ids.ClusterID]RowGossip, len(m.Rows))
+		for k, v := range m.Rows {
+			g := RowGossip{Auth: v.Auth.Clone()}
+			g.HintCols = append(g.HintCols, v.HintCols...)
+			out.Rows[k] = g
+		}
+	}
+	if m.OBs != nil {
+		out.OBs = make(map[ids.ClusterID]OBGossip, len(m.OBs))
+		for k, v := range m.OBs {
+			out.OBs[k] = OBGossip{Auth: v.Auth.Clone(), Hints: v.Hints.Clone()}
+		}
+	}
+	return out
+}
+
+// remove finalises a garbage process: the paper's "remove" action plus the
+// finalisation destroys to its successors, which is what lets detection
+// cascade through cycles and chains.
+func (e *Engine) remove(p *process) {
+	if e.opts.RemoveObserver != nil {
+		e.opts.RemoveObserver(p.id, p.log.Clone(), p.clock)
+	}
+	delete(e.procs, p.id)
+	e.stats.Removed++
+	for _, k := range p.acq.Sorted() {
+		p.clock++
+		if k.Site == e.site {
+			e.queueDestroy(p.id, k, DestroyMsg{
+				Auth: vclock.Vector{p.id: vclock.Eps(p.clock)},
+			})
+			continue
+		}
+		ob := p.log.OB(k)
+		ob.Auth.MergeEntry(p.id, vclock.Eps(p.clock))
+		e.queueDestroy(p.id, k, DestroyMsg{
+			Auth:      ob.Auth.Clone(),
+			Hints:     ob.Hints.Clone(),
+			Processed: ob.Processed.Clone(),
+		})
+	}
+	e.tombstone[p.id] = p.clock
+	if e.onRemove != nil {
+		e.onRemove(p.id)
+	}
+}
+
+func (e *Engine) queueDestroy(from, to ids.ClusterID, m DestroyMsg) {
+	e.stats.DestroysSent++
+	if to.Site == e.site {
+		e.inbox = append(e.inbox, delivery{to: to, from: from, kind: deliverDestroy, destroy: m})
+		return
+	}
+	e.send.SendDestroy(from, to, m)
+}
+
+// --- Recovery (§5: residual garbage) ------------------------------------
+
+// Refresh re-evaluates every local process and re-propagates its current
+// state unconditionally. GGD messages are idempotent, so a refresh is
+// always safe; it re-detects residual garbage whose original detection
+// traffic was lost.
+func (e *Engine) Refresh() {
+	for _, id := range e.Processes() {
+		p, ok := e.procs[id]
+		if !ok {
+			continue // removed by an earlier iteration's cascade
+		}
+		e.stats.Evaluations++
+		res := p.log.Closure(p.clock)
+		if e.opts.UnsafeSkipConfirmation {
+			res.Complete = true
+		}
+		if res.Garbage() {
+			e.remove(p)
+			e.Drain()
+			continue
+		}
+		p.active = true
+		e.propagate(p, res)
+		e.Drain()
+	}
+}
+
+// Evaluate forces one evaluation of a single process (test hook).
+func (e *Engine) Evaluate(cl ids.ClusterID) {
+	if p, ok := e.procs[cl]; ok {
+		e.evaluate(p, false)
+		e.Drain()
+	}
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"testing"
+
+	"causalgc/internal/ids"
+	"causalgc/internal/vclock"
+)
+
+// fakeSender records outgoing control messages.
+type fakeSender struct {
+	destroys []sentMsg
+	props    []sentMsg
+	asserts  []sentAssert
+}
+
+type sentMsg struct {
+	from, to ids.ClusterID
+}
+
+type sentAssert struct {
+	from, to ids.ClusterID
+	m        AssertMsg
+}
+
+func (f *fakeSender) SendDestroy(from, to ids.ClusterID, _ DestroyMsg) {
+	f.destroys = append(f.destroys, sentMsg{from, to})
+}
+
+func (f *fakeSender) SendPropagate(from, to ids.ClusterID, _ Propagation) {
+	f.props = append(f.props, sentMsg{from, to})
+}
+
+func (f *fakeSender) SendAssert(from, to ids.ClusterID, m AssertMsg) {
+	f.asserts = append(f.asserts, sentAssert{from, to, m})
+}
+
+var _ Sender = (*fakeSender)(nil)
+
+var (
+	r1  = ids.ClusterID{Site: 1, Seq: 1, Root: true}
+	cA  = ids.ClusterID{Site: 1, Seq: 2}
+	cB  = ids.ClusterID{Site: 1, Seq: 3}
+	rem = ids.ClusterID{Site: 2, Seq: 1}
+)
+
+func newEngine(t *testing.T, opts Options) (*Engine, *fakeSender, *[]ids.ClusterID) {
+	t.Helper()
+	fs := &fakeSender{}
+	var removed []ids.ClusterID
+	e := New(1, fs, func(cl ids.ClusterID) { removed = append(removed, cl) }, opts)
+	return e, fs, &removed
+}
+
+func TestEngineRegisterIdempotentAndTombstoned(t *testing.T) {
+	e, _, _ := newEngine(t, Options{})
+	e.Register(cA)
+	if !e.Registered(cA) {
+		t.Fatal("not registered")
+	}
+	e.Register(cA) // no-op
+	if got := len(e.Processes()); got != 1 {
+		t.Fatalf("Processes = %d", got)
+	}
+	// Make it garbage: no edges at all → first delivery removes it.
+	e.HandleDestroy(cA, r1, DestroyMsg{Auth: vclock.Vector{r1: vclock.Eps(1)}})
+	if !e.Removed(cA) {
+		t.Fatal("unreferenced cluster not removed")
+	}
+	e.Register(cA)
+	if e.Registered(cA) {
+		t.Fatal("tombstoned cluster re-registered")
+	}
+}
+
+func TestEngineRegisterForeignPanics(t *testing.T) {
+	e, _, _ := newEngine(t, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Register(rem)
+}
+
+func TestEngineLocalEdgeLifecycle(t *testing.T) {
+	e, _, removed := newEngine(t, Options{})
+	e.Register(r1)
+	e.Register(cA)
+	e.EdgeUp(r1, cA, true, ids.NoCluster, 0)
+	e.Drain()
+	if e.Removed(cA) {
+		t.Fatal("live cluster removed")
+	}
+	if got := e.Acquaintances(r1); len(got) != 1 || got[0] != cA {
+		t.Fatalf("Acquaintances = %v", got)
+	}
+	// The stamp landed directly in cA's own vector (same site).
+	if got := e.LogSnapshot(cA).Own().Get(r1); !got.Live() {
+		t.Fatalf("own[r1] = %v, want live", got)
+	}
+	e.EdgeDown(r1, cA)
+	e.Drain()
+	if !e.Removed(cA) {
+		t.Fatal("dead cluster not removed")
+	}
+	if len(*removed) != 1 || (*removed)[0] != cA {
+		t.Fatalf("onRemove calls = %v", *removed)
+	}
+	if e.Clock(cA) == 0 {
+		t.Error("tombstone clock lost")
+	}
+}
+
+func TestEngineLocalCascade(t *testing.T) {
+	// r1 → A → B: dropping r1→A removes A, whose finalisation removes B.
+	e, _, removed := newEngine(t, Options{})
+	e.Register(r1)
+	e.Register(cA)
+	e.Register(cB)
+	e.EdgeUp(r1, cA, true, ids.NoCluster, 0)
+	e.EdgeUp(cA, cB, true, ids.NoCluster, 0)
+	e.Drain()
+	e.EdgeDown(r1, cA)
+	e.Drain()
+	if !e.Removed(cA) || !e.Removed(cB) {
+		t.Fatalf("cascade incomplete: removed=%v", *removed)
+	}
+	st := e.Stats()
+	if st.Removed != 2 {
+		t.Errorf("Stats.Removed = %d, want 2", st.Removed)
+	}
+}
+
+func TestEngineRemoteEdgeUpSendsAssert(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(cA)
+	intro := ids.ClusterID{Site: 3, Seq: 9}
+	e.EdgeUp(cA, rem, true, intro, 7)
+	if len(fs.asserts) != 1 {
+		t.Fatalf("asserts = %+v, want 1", fs.asserts)
+	}
+	a := fs.asserts[0]
+	if a.from != cA || a.to != rem || a.m.Intro != intro || a.m.IntroSeq != 7 {
+		t.Errorf("assert = %+v", a)
+	}
+	// Non-first re-add: no assert.
+	e.EdgeUp(cA, rem, false, intro, 8)
+	if len(fs.asserts) != 1 {
+		t.Errorf("re-add sent an assert")
+	}
+	// Creation sentinel: no assert.
+	e.EdgeUp(cA, ids.ClusterID{Site: 2, Seq: 5}, true, ids.NoCluster, ids.CreationSeq)
+	if len(fs.asserts) != 1 {
+		t.Errorf("creation sent an assert")
+	}
+}
+
+func TestEngineEdgeDownShipsBundle(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(cA)
+	e.EdgeUp(cA, rem, true, ids.NoCluster, 0)
+	seq := e.SentRef(cA, rem, cB) // cA forwards rem's ref to cB
+	if seq == 0 {
+		t.Fatal("SentRef returned 0")
+	}
+	ob := e.LogSnapshot(cA).PeekOB(rem)
+	if ob == nil || !ob.Hints.Get(cB).Live() {
+		t.Fatalf("forward hint not recorded: %+v", ob)
+	}
+	e.EdgeDown(cA, rem)
+	e.Drain()
+	if len(fs.destroys) != 1 || fs.destroys[0].to != rem {
+		t.Fatalf("destroys = %+v", fs.destroys)
+	}
+}
+
+func TestEngineHandleAssertResolvesHint(t *testing.T) {
+	e, _, _ := newEngine(t, Options{})
+	e.Register(cA)
+	// cA hears (via a bundle) that rem may reference it, introduced by cB
+	// at seq 5: pending hint blocks a garbage verdict.
+	e.HandleDestroy(cA, cB, DestroyMsg{
+		Auth:  vclock.Vector{cB: vclock.Eps(3)},
+		Hints: vclock.Vector{rem: vclock.At(5)},
+	})
+	if e.Removed(cA) {
+		t.Fatal("removed with a pending introduction hint (UNSAFE)")
+	}
+	// rem's assert resolves the hint with a live stamp: still alive.
+	e.HandleAssert(cA, rem, AssertMsg{Stamp: 9, Intro: cB, IntroSeq: 5})
+	if e.Removed(cA) {
+		t.Fatal("removed while rem holds a live edge")
+	}
+	if got := e.LogSnapshot(cA).Own().Get(rem); got != vclock.At(9) {
+		t.Fatalf("own[rem] = %v, want 9", got)
+	}
+	// rem destroys its edge: now cA is garbage.
+	e.HandleDestroy(cA, rem, DestroyMsg{Auth: vclock.Vector{rem: vclock.Eps(10)}})
+	if !e.Removed(cA) {
+		t.Fatal("not removed after all edges destroyed")
+	}
+}
+
+func TestEngineConfirmationGuardBlocksRemoval(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(cA)
+	// cA's only edge is from the (unconfirmed) remote cluster: a destroy
+	// from a root leaves a live non-root predecessor with unknown
+	// ancestry — removal must be blocked; a propagation must go out
+	// asking the world (via cA's successors, none here).
+	e.HandleDestroy(cA, r1, DestroyMsg{Auth: vclock.Vector{
+		r1:  vclock.Eps(4),
+		rem: vclock.At(2), // bundled: edge rem→cA exists
+	}})
+	if e.Removed(cA) {
+		t.Fatal("removed with unconfirmed live predecessor (UNSAFE)")
+	}
+	// rem's propagation confirms its row: rootless → garbage.
+	e.HandlePropagate(cA, rem, Propagation{Clock: 3, Auth: vclock.NewVector()})
+	if !e.Removed(cA) {
+		t.Fatal("not removed after predecessor confirmed rootless")
+	}
+	_ = fs
+}
+
+func TestEngineConfirmedLiveRootKeepsAlive(t *testing.T) {
+	e, _, _ := newEngine(t, Options{})
+	e.Register(cA)
+	e.HandleDestroy(cA, r1, DestroyMsg{Auth: vclock.Vector{
+		r1:  vclock.Eps(4),
+		rem: vclock.At(2),
+	}})
+	// rem's propagation shows rem is itself root-referenced.
+	root2 := ids.ClusterID{Site: 2, Seq: 1, Root: true}
+	e.HandlePropagate(cA, rem, Propagation{
+		Clock: 3,
+		Auth:  vclock.Vector{root2: vclock.At(1)},
+	})
+	if e.Removed(cA) {
+		t.Fatal("removed despite a confirmed live root path (UNSAFE)")
+	}
+}
+
+func TestEngineDuplicateDestroyIdempotent(t *testing.T) {
+	e, _, _ := newEngine(t, Options{})
+	e.Register(r1)
+	e.Register(cA)
+	e.EdgeUp(r1, cA, true, ids.NoCluster, 0)
+	e.Drain()
+	m := DestroyMsg{Auth: vclock.Vector{rem: vclock.Eps(5)}}
+	e.HandleDestroy(cA, rem, m)
+	clock := e.Clock(cA)
+	e.HandleDestroy(cA, rem, m) // duplicate
+	if got := e.Clock(cA); got != clock {
+		t.Errorf("duplicate destroy bumped the clock: %d -> %d", clock, got)
+	}
+}
+
+func TestEngineStaleDeliveriesCounted(t *testing.T) {
+	e, _, _ := newEngine(t, Options{})
+	ghost := ids.ClusterID{Site: 2, Seq: 99}
+	// Foreign-site target: never buffered, dropped as stale.
+	e.HandleDestroy(ghost, r1, DestroyMsg{})
+	if got := e.Stats().StaleDeliveries; got != 1 {
+		t.Errorf("StaleDeliveries = %d, want 1", got)
+	}
+	// EdgeUp/SentRef/EdgeDown on unknown holders are stale too.
+	e.EdgeUp(cB, rem, true, ids.NoCluster, 0)
+	e.SentRef(cB, rem, cA)
+	e.EdgeDown(cB, rem)
+	if got := e.Stats().StaleDeliveries; got != 4 {
+		t.Errorf("StaleDeliveries = %d, want 4", got)
+	}
+}
+
+func TestEngineEarlyMessageBuffered(t *testing.T) {
+	// A destroy racing ahead of the local cluster's creation must be
+	// buffered and replayed on Register, not dropped.
+	e, _, _ := newEngine(t, Options{})
+	e.HandleDestroy(cA, rem, DestroyMsg{Auth: vclock.Vector{rem: vclock.Eps(5)}})
+	if e.Stats().StaleDeliveries != 0 {
+		t.Fatal("early local-cluster message dropped instead of buffered")
+	}
+	e.Register(cA)
+	e.HandleCreate(cA, rem, 2) // creation arrives late
+	e.Drain()
+	// The buffered Ē(5) must supersede the creation stamp At(2).
+	if e.Registered(cA) {
+		if got := e.LogSnapshot(cA).Own().Get(rem); got != vclock.Eps(5) {
+			t.Fatalf("own[rem] = %v, want Ē5", got)
+		}
+	}
+}
+
+func TestEngineRootsNeverRemoved(t *testing.T) {
+	e, _, _ := newEngine(t, Options{})
+	e.Register(r1)
+	e.Refresh()
+	e.Evaluate(r1)
+	if e.Removed(r1) {
+		t.Fatal("actual root removed")
+	}
+}
+
+func TestEngineSelfRefSendArmsOwnHint(t *testing.T) {
+	e, _, _ := newEngine(t, Options{})
+	e.Register(cA)
+	seq := e.SentRef(cA, cA, rem) // cA sends its own reference to rem
+	if seq == 0 {
+		t.Fatal("seq = 0")
+	}
+	if !e.LogSnapshot(cA).Hints().Has(rem) {
+		t.Fatal("self-introduction hint not armed")
+	}
+	// rem's assert resolves it.
+	e.HandleAssert(cA, rem, AssertMsg{Stamp: 4, Intro: cA, IntroSeq: seq})
+	if e.LogSnapshot(cA).Hints().Has(rem) {
+		t.Fatal("hint not resolved by assert")
+	}
+}
+
+func TestEngineUnsafeNoHintsSkipsMechanism(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{UnsafeNoHints: true})
+	e.Register(cA)
+	e.EdgeUp(cA, rem, true, cB, 3)
+	if len(fs.asserts) != 0 {
+		t.Errorf("asserts sent with UnsafeNoHints: %+v", fs.asserts)
+	}
+	e.SentRef(cA, cA, rem)
+	if e.LogSnapshot(cA).Hints() != nil && !e.LogSnapshot(cA).Hints().Empty() {
+		t.Error("hints armed with UnsafeNoHints")
+	}
+}
+
+func TestEngineRemoveObserver(t *testing.T) {
+	var observed []ids.ClusterID
+	fs := &fakeSender{}
+	e := New(1, fs, nil, Options{
+		RemoveObserver: func(id ids.ClusterID, log *vclock.Log, clock uint64) {
+			if log == nil {
+				t.Error("observer got nil log")
+			}
+			observed = append(observed, id)
+		},
+	})
+	e.Register(cA)
+	e.HandleDestroy(cA, r1, DestroyMsg{Auth: vclock.Vector{r1: vclock.Eps(1)}})
+	if len(observed) != 1 || observed[0] != cA {
+		t.Fatalf("observed = %v", observed)
+	}
+}

@@ -1,0 +1,182 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSiteIDString(t *testing.T) {
+	tests := []struct {
+		in   SiteID
+		want string
+	}{
+		{NoSite, "s0"},
+		{SiteID(1), "s1"},
+		{SiteID(42), "s42"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("SiteID(%d).String() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSiteIDValid(t *testing.T) {
+	if NoSite.Valid() {
+		t.Error("NoSite.Valid() = true, want false")
+	}
+	if !SiteID(1).Valid() {
+		t.Error("SiteID(1).Valid() = false, want true")
+	}
+}
+
+func TestClusterIDString(t *testing.T) {
+	tests := []struct {
+		in   ClusterID
+		want string
+	}{
+		{ClusterID{Site: 2, Seq: 7}, "s2/c7"},
+		{ClusterID{Site: 2, Seq: 1, Root: true}, "s2/R1"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("%#v.String() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestClusterIDOrdering(t *testing.T) {
+	a := ClusterID{Site: 1, Seq: 1}
+	b := ClusterID{Site: 1, Seq: 2}
+	c := ClusterID{Site: 2, Seq: 1}
+	r := ClusterID{Site: 1, Seq: 1, Root: true}
+
+	if !a.Less(b) || b.Less(a) {
+		t.Errorf("want %v < %v", a, b)
+	}
+	if !b.Less(c) || c.Less(b) {
+		t.Errorf("want %v < %v", b, c)
+	}
+	if !r.Less(a) || a.Less(r) {
+		t.Errorf("want root %v < plain %v", r, a)
+	}
+	if a.Less(a) {
+		t.Errorf("Less must be irreflexive")
+	}
+	if got := a.Compare(b); got != -1 {
+		t.Errorf("a.Compare(b) = %d, want -1", got)
+	}
+	if got := b.Compare(a); got != 1 {
+		t.Errorf("b.Compare(a) = %d, want 1", got)
+	}
+	if got := a.Compare(a); got != 0 {
+		t.Errorf("a.Compare(a) = %d, want 0", got)
+	}
+}
+
+func TestClusterIDLessTotalOrder(t *testing.T) {
+	// Less must be a strict weak ordering: exactly one of a<b, b<a, a==b.
+	f := func(s1, s2 uint8, q1, q2 uint8, r1, r2 bool) bool {
+		a := ClusterID{Site: SiteID(s1), Seq: uint64(q1), Root: r1}
+		b := ClusterID{Site: SiteID(s2), Seq: uint64(q2), Root: r2}
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectID(t *testing.T) {
+	o := ObjectID{Site: 3, Seq: 42}
+	if got, want := o.String(), "s3/o42"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if NoObject.Valid() {
+		t.Error("NoObject.Valid() = true, want false")
+	}
+	if !o.Valid() {
+		t.Error("o.Valid() = false, want true")
+	}
+	p := ObjectID{Site: 3, Seq: 43}
+	if !o.Less(p) || p.Less(o) {
+		t.Errorf("want %v < %v", o, p)
+	}
+	q := ObjectID{Site: 4, Seq: 1}
+	if !p.Less(q) {
+		t.Errorf("want %v < %v", p, q)
+	}
+}
+
+func TestClusterSet(t *testing.T) {
+	a := ClusterID{Site: 1, Seq: 1}
+	b := ClusterID{Site: 1, Seq: 2}
+	c := ClusterID{Site: 2, Seq: 1}
+
+	s := NewClusterSet(b, a)
+	if !s.Has(a) || !s.Has(b) || s.Has(c) {
+		t.Fatalf("membership wrong after NewClusterSet: %v", s)
+	}
+	if !s.Add(c) {
+		t.Error("Add(c) = false for new member")
+	}
+	if s.Add(c) {
+		t.Error("Add(c) = true for existing member")
+	}
+	if !s.Remove(b) {
+		t.Error("Remove(b) = false for existing member")
+	}
+	if s.Remove(b) {
+		t.Error("Remove(b) = true for absent member")
+	}
+	got := s.Sorted()
+	want := []ClusterID{a, c}
+	if len(got) != len(want) {
+		t.Fatalf("Sorted() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted() = %v, want %v", got, want)
+		}
+	}
+
+	cl := s.Clone()
+	cl.Add(b)
+	if s.Has(b) {
+		t.Error("Clone is not independent of the original")
+	}
+}
+
+func TestSortClusters(t *testing.T) {
+	in := []ClusterID{
+		{Site: 2, Seq: 1},
+		{Site: 1, Seq: 2},
+		{Site: 1, Seq: 1, Root: true},
+		{Site: 1, Seq: 1},
+	}
+	SortClusters(in)
+	for i := 1; i < len(in); i++ {
+		if in[i].Less(in[i-1]) {
+			t.Fatalf("not sorted at %d: %v", i, in)
+		}
+	}
+}
+
+func TestSortObjects(t *testing.T) {
+	in := []ObjectID{{Site: 2, Seq: 1}, {Site: 1, Seq: 9}, {Site: 1, Seq: 3}}
+	SortObjects(in)
+	for i := 1; i < len(in); i++ {
+		if in[i].Less(in[i-1]) {
+			t.Fatalf("not sorted at %d: %v", i, in)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package mutator_test
+
+import (
+	"testing"
+
+	"causalgc/internal/mutator"
+	"causalgc/internal/netsim"
+	"causalgc/internal/sim"
+	"causalgc/internal/site"
+)
+
+func TestBuildPaperScenarioShape(t *testing.T) {
+	w := sim.NewWorld(4, netsim.Faults{Seed: 1}, site.DefaultOptions())
+	sc, err := mutator.BuildPaperScenario(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One object per site 2..4, plus four roots.
+	if got := w.TotalObjects(); got != 7 {
+		t.Errorf("TotalObjects = %d, want 7", got)
+	}
+	for _, ref := range []struct {
+		name string
+		site uint32
+	}{{"obj2", 2}, {"obj3", 3}, {"obj4", 4}} {
+		_ = ref
+	}
+	if sc.Obj2.Obj.Site != 2 || sc.Obj3.Obj.Site != 3 || sc.Obj4.Obj.Site != 4 {
+		t.Errorf("placement wrong: %v %v %v", sc.Obj2, sc.Obj3, sc.Obj4)
+	}
+	if rep := w.Check(); !rep.Clean() {
+		t.Errorf("fresh scenario not clean: %v", rep)
+	}
+	// Drop and settle: only the roots remain.
+	if err := sc.DropRootEdge(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.TotalObjects(); got != 4 {
+		t.Errorf("TotalObjects after drop = %d, want 4", got)
+	}
+}
+
+func TestBuildDLLShapeAndDetach(t *testing.T) {
+	const k = 5
+	w := sim.NewWorld(k+1, netsim.Faults{Seed: 1}, site.DefaultOptions())
+	dll, err := mutator.BuildDLL(w, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dll.Elems) != k {
+		t.Fatalf("Elems = %d", len(dll.Elems))
+	}
+	for i, e := range dll.Elems {
+		if int(e.Obj.Site) != i+2 {
+			t.Errorf("element %d on site %v, want s%d", i, e.Obj.Site, i+2)
+		}
+	}
+	if rep := w.Check(); !rep.Clean() {
+		t.Fatalf("built DLL not clean: %v", rep)
+	}
+	if err := dll.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	rep := w.Check()
+	if !rep.Safe() || len(rep.Garbage) != 0 {
+		t.Fatalf("after detach: %v", rep)
+	}
+	if got := w.TotalObjects(); got != k+1 {
+		t.Errorf("TotalObjects = %d, want %d roots", got, k+1)
+	}
+	if _, err := mutator.BuildDLL(w, 0); err == nil {
+		t.Error("k=0 must error")
+	}
+}
+
+func TestBuildRingShapeAndDetach(t *testing.T) {
+	const k = 6
+	w := sim.NewWorld(k+1, netsim.Faults{Seed: 1}, site.DefaultOptions())
+	ring, err := mutator.BuildRing(w, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After narrowing, only one root edge remains; everything is live.
+	if rep := w.Check(); !rep.Clean() {
+		t.Fatalf("built ring not clean: %v", rep)
+	}
+	if got := w.TotalObjects(); got != 2*k+1 {
+		t.Errorf("TotalObjects = %d, want %d", got, 2*k+1)
+	}
+	if err := ring.DetachRing(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	rep := w.Check()
+	if !rep.Safe() || len(rep.Garbage) != 0 {
+		t.Fatalf("after detach: %v", rep)
+	}
+	if _, err := mutator.BuildRing(w, 0); err == nil {
+		t.Error("k=0 must error")
+	}
+}
+
+func TestChurnLegality(t *testing.T) {
+	w := sim.NewWorld(4, netsim.Faults{Seed: 5}, site.DefaultOptions())
+	stats, err := mutator.Churn(w, mutator.ChurnConfig{Seed: 9, Ops: 120, StepsBetweenOps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Creates == 0 || stats.Shares == 0 || stats.Drops == 0 {
+		t.Errorf("degenerate mix: %+v", stats)
+	}
+	total := stats.Creates + stats.Shares + stats.Drops + stats.Skipped
+	if total != 120 {
+		t.Errorf("ops accounted = %d, want 120", total)
+	}
+	if err := w.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if rep := w.Check(); !rep.Safe() {
+		t.Fatalf("churn unsafe: %v", rep)
+	}
+}
+
+func TestChurnCustomWeights(t *testing.T) {
+	w := sim.NewWorld(3, netsim.Faults{Seed: 2}, site.DefaultOptions())
+	stats, err := mutator.Churn(w, mutator.ChurnConfig{
+		Seed: 3, Ops: 50, PCreate: 1, PShare: 0, PDrop: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shares != 0 || stats.Drops != 0 {
+		t.Errorf("weights ignored: %+v", stats)
+	}
+}

@@ -1,0 +1,214 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"causalgc/internal/ids"
+)
+
+// AsyncNetwork is the concurrent in-memory network: one delivery goroutine
+// per registered site, unbounded per-site queues (a handler may send while
+// handling without deadlocking), and the same fault plan as Sim minus
+// reordering (goroutine scheduling provides natural nondeterminism).
+//
+// All goroutines are owned by the network and joined by Close.
+type AsyncNetwork struct {
+	mu     sync.Mutex
+	eps    map[ids.SiteID]*asyncEndpoint
+	rng    *rand.Rand
+	faults Faults
+	stats  *Stats
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type asyncEndpoint struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []asyncMsg
+	busy   int // messages dequeued whose handler has not returned yet
+	closed bool
+	h      Handler
+}
+
+type asyncMsg struct {
+	from ids.SiteID
+	p    Payload
+}
+
+// NewAsync creates a concurrent network with the given fault plan.
+func NewAsync(f Faults) *AsyncNetwork {
+	return &AsyncNetwork{
+		eps:    make(map[ids.SiteID]*asyncEndpoint),
+		rng:    rand.New(rand.NewSource(f.Seed)),
+		faults: f,
+		stats:  NewStats(),
+	}
+}
+
+var _ Network = (*AsyncNetwork)(nil)
+
+// Register installs the handler for a site and starts its delivery
+// goroutine. Registering after Close is a no-op.
+func (n *AsyncNetwork) Register(site ids.SiteID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	if _, ok := n.eps[site]; ok {
+		n.eps[site].setHandler(h)
+		return
+	}
+	ep := &asyncEndpoint{h: h}
+	ep.cond = sync.NewCond(&ep.mu)
+	n.eps[site] = ep
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ep.pump(n.stats)
+	}()
+}
+
+func (ep *asyncEndpoint) setHandler(h Handler) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.h = h
+}
+
+func (ep *asyncEndpoint) pump(stats *Stats) {
+	for {
+		ep.mu.Lock()
+		for len(ep.queue) == 0 && !ep.closed {
+			ep.cond.Wait()
+		}
+		if len(ep.queue) == 0 && ep.closed {
+			ep.mu.Unlock()
+			return
+		}
+		m := ep.queue[0]
+		ep.queue = ep.queue[1:]
+		ep.busy++
+		h := ep.h
+		ep.mu.Unlock()
+
+		stats.recordDelivered(m.p)
+		h(m.from, m.p)
+
+		ep.mu.Lock()
+		ep.busy--
+		ep.mu.Unlock()
+	}
+}
+
+func (ep *asyncEndpoint) enqueue(m asyncMsg) bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return false
+	}
+	ep.queue = append(ep.queue, m)
+	ep.cond.Signal()
+	return true
+}
+
+// Stats returns the delivery statistics.
+func (n *AsyncNetwork) Stats() *Stats { return n.stats }
+
+// Send queues p for delivery, applying the fault plan.
+func (n *AsyncNetwork) Send(from, to ids.SiteID, p Payload) {
+	n.stats.recordSent(p)
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.stats.recordDropped(p)
+		return
+	}
+	ep := n.eps[to]
+	drop := false
+	dup := false
+	if FaultEligible(p) {
+		if n.faults.Partitioned != nil && n.faults.Partitioned(from, to) {
+			drop = true
+		} else {
+			if n.faults.DropProb > 0 && n.rng.Float64() < n.faults.DropProb {
+				drop = true
+			}
+			if !drop && n.faults.DupProb > 0 && n.rng.Float64() < n.faults.DupProb {
+				dup = true
+			}
+		}
+	}
+	n.mu.Unlock()
+
+	if drop || ep == nil {
+		n.stats.recordDropped(p)
+		return
+	}
+	if !ep.enqueue(asyncMsg{from: from, p: p}) {
+		n.stats.recordDropped(p)
+		return
+	}
+	if dup {
+		n.stats.recordDuplicated(p)
+		if !ep.enqueue(asyncMsg{from: from, p: p}) {
+			n.stats.recordDropped(p)
+		}
+	}
+}
+
+// Quiesce blocks until every queue is empty and every in-flight handler
+// has returned. Because a handler can only create new work by sending
+// (which re-fills a queue before the handler returns and is therefore
+// observed), an idle verdict is stable: messages sent after Quiesce
+// returns come from outside the network.
+func (n *AsyncNetwork) Quiesce() {
+	for !n.idle() {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func (n *AsyncNetwork) idle() bool {
+	n.mu.Lock()
+	eps := make([]*asyncEndpoint, 0, len(n.eps))
+	for _, ep := range n.eps {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.mu.Lock()
+		busy := len(ep.queue) > 0 || ep.busy > 0
+		ep.mu.Unlock()
+		if busy {
+			return false
+		}
+	}
+	return true
+}
+
+// Close stops all delivery goroutines after their queues drain and joins
+// them. Sends after Close are dropped.
+func (n *AsyncNetwork) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*asyncEndpoint, 0, len(n.eps))
+	for _, ep := range n.eps {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+
+	for _, ep := range eps {
+		ep.mu.Lock()
+		ep.closed = true
+		ep.cond.Broadcast()
+		ep.mu.Unlock()
+	}
+	n.wg.Wait()
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"testing"
+
+	"causalgc/internal/heap"
+	"causalgc/internal/netsim"
+	"causalgc/internal/site"
+)
+
+// buildPaperScenario constructs the global root graph of Fig 3: four
+// sites, one object per site (so the object graph and the global root
+// graph coincide, §3.1). Returns the world and the refs to objects 2,3,4.
+//
+//	e2,1: root 1 creates 2     e3,1: 2 creates 3     e4,1: 2 creates 4
+//	e3,2: 2 sends 4 a ref to 3 (edge 4→3)
+//	e4,2: 2 sends 3 a ref to 4 (edge 3→4)
+//	e2,2: 2 sends its own ref to 4 (edge 4→2)
+func buildPaperScenario(t *testing.T, faults netsim.Faults, opts site.Options) (*World, heap.Ref, heap.Ref, heap.Ref) {
+	t.Helper()
+	w := NewWorld(4, faults, opts)
+	s1, s2 := w.Site(1), w.Site(2)
+
+	root1 := s1.Root()
+	obj2, err := s1.NewRemote(root1.Obj, 2)
+	if err != nil {
+		t.Fatalf("create 2: %v", err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	obj3, err := s2.NewRemote(obj2.Obj, 3)
+	if err != nil {
+		t.Fatalf("create 3: %v", err)
+	}
+	obj4, err := s2.NewRemote(obj2.Obj, 4)
+	if err != nil {
+		t.Fatalf("create 4: %v", err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third-party exchanges (Fig 7): no extra control messages.
+	if err := s2.SendRef(obj2.Obj, obj4, obj3); err != nil { // edge 4→3
+		t.Fatalf("send 3 to 4: %v", err)
+	}
+	if err := s2.SendRef(obj2.Obj, obj3, obj4); err != nil { // edge 3→4
+		t.Fatalf("send 4 to 3: %v", err)
+	}
+	if err := s2.SendRef(obj2.Obj, obj4, obj2); err != nil { // edge 4→2
+		t.Fatalf("send 2 to 4: %v", err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return w, obj2, obj3, obj4
+}
+
+func TestPaperScenarioBeforeDrop(t *testing.T) {
+	w, obj2, obj3, obj4 := buildPaperScenario(t, netsim.Faults{Seed: 1}, site.DefaultOptions())
+
+	// Everything is live: 4 roots + 3 objects.
+	rep := w.Check()
+	if !rep.Safe() {
+		t.Fatalf("unsafe before drop: %v", rep)
+	}
+	if len(rep.Garbage) != 0 {
+		t.Fatalf("unexpected garbage before drop: %v", rep)
+	}
+	for _, ref := range []heap.Ref{obj2, obj3, obj4} {
+		if !w.Site(ref.Obj.Site).HasObject(ref.Obj) {
+			t.Fatalf("object %v missing before drop", ref)
+		}
+	}
+	// Collections must not reclaim anything live.
+	if err := w.CollectAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Check(); !got.Safe() || len(got.Garbage) != 0 {
+		t.Fatalf("after collect: %v", got)
+	}
+}
+
+// TestPaperScenarioCycleCollected is the headline behaviour (§3.6, Fig 8):
+// when the root drops its edge to 2, the distributed cycle {2,3,4} —
+// spanning three sites, invisible to any per-site collector — is detected
+// by GGD and reclaimed, with no global consensus round.
+func TestPaperScenarioCycleCollected(t *testing.T) {
+	w, obj2, obj3, obj4 := buildPaperScenario(t, netsim.Faults{Seed: 1}, site.DefaultOptions())
+	s1 := w.Site(1)
+
+	if err := s1.DropRefs(s1.Root().Obj, obj2); err != nil { // e2,3
+		t.Fatal(err)
+	}
+	if err := w.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := w.Check()
+	if !rep.Safe() {
+		t.Fatalf("unsafe after settle: %v", rep)
+	}
+	if len(rep.Garbage) != 0 {
+		t.Fatalf("residual garbage after settle: %v", rep)
+	}
+	for _, ref := range []heap.Ref{obj2, obj3, obj4} {
+		if w.Site(ref.Obj.Site).HasObject(ref.Obj) {
+			t.Errorf("object %v not collected", ref)
+		}
+		if !w.Site(ref.Obj.Site).ClusterRemoved(ref.Cluster) {
+			t.Errorf("cluster %v not removed", ref.Cluster)
+		}
+	}
+	// 4 root objects remain, one per site.
+	if got := w.TotalObjects(); got != 4 {
+		t.Errorf("TotalObjects = %d, want 4", got)
+	}
+}
+
+// TestPaperScenarioLiveThroughCycle keeps the cycle reachable via a second
+// root edge (1→4): nothing may be collected even though the 1→2 edge dies.
+func TestPaperScenarioLiveThroughCycle(t *testing.T) {
+	w, obj2, obj3, obj4 := buildPaperScenario(t, netsim.Faults{Seed: 1}, site.DefaultOptions())
+	s1, s2 := w.Site(1), w.Site(2)
+
+	// Root 1 additionally references 4 (2 holds 4's ref and sends it to
+	// the root: a third-party transfer to site 1).
+	if err := s2.SendRef(obj2.Obj, s1.Root(), obj4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s1.DropRefs(s1.Root().Obj, obj2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Settle(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := w.Check()
+	if !rep.Safe() {
+		t.Fatalf("unsafe: %v", rep)
+	}
+	// The whole cycle stays live: 4 → 2 and 4 → 3 and 2,3,4 reachable via
+	// 1 → 4.
+	for _, ref := range []heap.Ref{obj2, obj3, obj4} {
+		if !w.Site(ref.Obj.Site).HasObject(ref.Obj) {
+			t.Errorf("live object %v was collected (UNSAFE)", ref)
+		}
+	}
+	if len(rep.Garbage) != 0 {
+		t.Errorf("unexpected garbage: %v", rep)
+	}
+
+	// Now drop the second root edge too: the cycle must die.
+	if err := s1.DropRefs(s1.Root().Obj, obj4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	rep = w.Check()
+	if !rep.Safe() {
+		t.Fatalf("unsafe after final drop: %v", rep)
+	}
+	if len(rep.Garbage) != 0 {
+		t.Errorf("residual garbage after final drop: %v", rep)
+	}
+	if got := w.TotalObjects(); got != 4 {
+		t.Errorf("TotalObjects = %d, want 4", got)
+	}
+}
+
+// TestPaperScenarioReachabilityFacts checks the §3.2 vector-time facts on
+// the implementation's logs: object 2 is reachable from 4 after e2,2
+// (edge 4→2 exists), visible as a live column for 4 in 2's own row... the
+// authoritative record lives at 4 until propagation, so we check 4's log
+// holds a live on-behalf stamp for the edge.
+func TestPaperScenarioReachabilityFacts(t *testing.T) {
+	w, obj2, _, obj4 := buildPaperScenario(t, netsim.Faults{Seed: 1}, site.DefaultOptions())
+
+	log4 := w.Site(4).LogSnapshot(obj4.Cluster)
+	if log4 == nil {
+		t.Fatal("no log for cluster 4")
+	}
+	ob2 := log4.PeekOB(obj2.Cluster)
+	if ob2 == nil {
+		t.Fatal("4 keeps no entries on behalf of 2 despite holding its reference")
+	}
+	if got := ob2.Auth.Get(obj4.Cluster); !got.Live() {
+		t.Errorf("edge 4→2 stamp at 4 = %v, want live", got)
+	}
+
+	// 2's own vector knows its creator (edge 1→2) via the piggybacked
+	// stamp.
+	log2 := w.Site(2).LogSnapshot(obj2.Cluster)
+	if log2 == nil {
+		t.Fatal("no log for cluster 2")
+	}
+	rootCl := w.Site(1).Root().Cluster
+	if got := log2.Own().Get(rootCl); !got.Live() {
+		t.Errorf("edge 1→2 stamp at 2 = %v, want live", got)
+	}
+	// And 2 knows of edge 4→2: either the pending self-introduction hint
+	// (DV_2[2][4]++) or 4's edge-assert already resolved it into an
+	// authoritative stamp.
+	if !log2.Own().Get(obj4.Cluster).Live() && !log2.Hints().Has(obj4.Cluster) {
+		t.Error("2 has neither a live stamp nor a pending hint for edge 4→2")
+	}
+}
+
+// TestLazyNoControlMessages asserts Fig 7's property: reference exchange,
+// including third-party transfers, triggers no synchronous control
+// traffic and no GGD rounds — only the deferred idempotent edge-asserts
+// this reproduction adds for soundness (one per first acquisition; see
+// the core package documentation and DESIGN.md §2).
+func TestLazyNoControlMessages(t *testing.T) {
+	w, _, _, _ := buildPaperScenario(t, netsim.Faults{Seed: 1}, site.DefaultOptions())
+	stats := w.Net().Stats()
+	if n := stats.Sent("ggd.destroy"); n != 0 {
+		t.Errorf("destroy messages during pure mutation = %d, want 0", n)
+	}
+	if n := stats.Sent("ggd.prop"); n != 0 {
+		t.Errorf("propagation messages during pure mutation = %d, want 0", n)
+	}
+	// One edge-assert per first remote acquisition via transfer: edges
+	// 4→3, 3→4, 4→2.
+	if n := stats.Sent("ggd.assert"); n != 3 {
+		t.Errorf("assert messages = %d, want 3", n)
+	}
+	// Mutator traffic: 3 creations + 3 ref transfers.
+	if n := stats.Sent("mut.create"); n != 3 {
+		t.Errorf("create messages = %d, want 3", n)
+	}
+	if n := stats.Sent("mut.ref"); n != 3 {
+		t.Errorf("ref messages = %d, want 3", n)
+	}
+}

@@ -1,0 +1,107 @@
+// Package sim is the whole-system harness: it assembles N sites over the
+// deterministic network simulator, drives workloads, runs the message
+// schedule to quiescence, and cross-checks the system against the global
+// oracle. Tests and benchmarks program against World.
+package sim
+
+import (
+	"fmt"
+
+	"causalgc/internal/ids"
+	"causalgc/internal/netsim"
+	"causalgc/internal/oracle"
+	"causalgc/internal/site"
+)
+
+// DefaultStepBudget bounds one Run: the GGD fixpoint always terminates,
+// so hitting the budget indicates a bug (non-monotone propagation).
+const DefaultStepBudget = 2_000_000
+
+// World is a complete simulated system.
+type World struct {
+	net   *netsim.Sim
+	sites []*site.Runtime
+}
+
+// NewWorld builds n sites (IDs 1..n) over a deterministic simulator.
+func NewWorld(n int, faults netsim.Faults, opts site.Options) *World {
+	w := &World{net: netsim.NewSim(faults)}
+	for i := 1; i <= n; i++ {
+		w.sites = append(w.sites, site.New(ids.SiteID(i), w.net, opts))
+	}
+	return w
+}
+
+// Site returns the runtime of site id (1-based).
+func (w *World) Site(id ids.SiteID) *site.Runtime {
+	return w.sites[int(id)-1]
+}
+
+// Sites returns all runtimes.
+func (w *World) Sites() []*site.Runtime { return w.sites }
+
+// Net exposes the simulator (fault control, stats).
+func (w *World) Net() *netsim.Sim { return w.net }
+
+// Run delivers queued messages until the network is quiet.
+func (w *World) Run() error {
+	_, err := w.net.Run(DefaultStepBudget)
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	return nil
+}
+
+// CollectAll runs one local collection on every site, then drains the
+// resulting traffic.
+func (w *World) CollectAll() error {
+	for _, s := range w.sites {
+		s.Collect()
+	}
+	return w.Run()
+}
+
+// RefreshAll runs one GGD refresh round on every site, then drains: the
+// recovery mechanism for residual garbage after message loss (§5).
+func (w *World) RefreshAll() error {
+	for _, s := range w.sites {
+		s.Refresh()
+	}
+	return w.Run()
+}
+
+// Settle drives the system to a stable state: deliver everything, collect
+// everywhere, and repeat until a full round changes nothing. It bounds the
+// number of rounds; detection latency is finite once the network is
+// reliable.
+func (w *World) Settle() error {
+	if err := w.Run(); err != nil {
+		return err
+	}
+	for round := 0; round < 16; round++ {
+		before := w.totalObjects()
+		if err := w.CollectAll(); err != nil {
+			return err
+		}
+		if w.totalObjects() == before && w.net.Pending() == 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (w *World) totalObjects() int {
+	n := 0
+	for _, s := range w.sites {
+		n += s.NumObjects()
+	}
+	return n
+}
+
+// TotalObjects returns the live object count across all sites.
+func (w *World) TotalObjects() int { return w.totalObjects() }
+
+// Check runs the global oracle.
+func (w *World) Check() oracle.Report {
+	return oracle.Check(w.sites...)
+}

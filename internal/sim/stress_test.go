@@ -1,0 +1,200 @@
+package sim_test
+
+import (
+	"testing"
+
+	"causalgc/internal/ids"
+	"causalgc/internal/mutator"
+	"causalgc/internal/netsim"
+	"causalgc/internal/sim"
+	"causalgc/internal/site"
+)
+
+// partition3v3 blocks traffic between {1,2,3} and {4,5,6}.
+func partition3v3(from, to ids.SiteID) bool {
+	return (from <= 3) != (to <= 3)
+}
+
+// TestChurnReliableNetwork runs randomised workloads over a reliable (but
+// arbitrarily interleaved) network across many seeds and checks both
+// invariants against the global oracle:
+//
+//	safety  — no reachable object is ever collected (no dangling refs);
+//	liveness — at quiescence every unreachable object has been collected,
+//	           distributed cycles included (comprehensiveness, §1).
+func TestChurnReliableNetwork(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		seed := seed
+		w := sim.NewWorld(6, netsim.Faults{Seed: seed}, site.DefaultOptions())
+		stats, err := mutator.Churn(w, mutator.ChurnConfig{
+			Seed:            seed * 7,
+			Ops:             250,
+			StepsBetweenOps: 3,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: churn: %v", seed, err)
+		}
+		if err := w.Settle(); err != nil {
+			t.Fatalf("seed %d: settle: %v", seed, err)
+		}
+		rep := w.Check()
+		if !rep.Safe() {
+			t.Fatalf("seed %d: SAFETY violation: %v (churn %+v)", seed, rep, stats)
+		}
+		if len(rep.Garbage) != 0 {
+			t.Errorf("seed %d: liveness: %d residual garbage objects on a reliable network: %v (churn %+v)",
+				seed, len(rep.Garbage), rep.Garbage, stats)
+		}
+	}
+}
+
+// TestChurnReorderedNetwork repeats the exercise with arbitrary per-channel
+// reordering: idempotent, stamp-ordered GGD messages must keep both
+// invariants.
+func TestChurnReorderedNetwork(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		w := sim.NewWorld(5, netsim.Faults{Seed: seed, Reorder: true}, site.DefaultOptions())
+		if _, err := mutator.Churn(w, mutator.ChurnConfig{
+			Seed:            seed * 13,
+			Ops:             200,
+			StepsBetweenOps: 2,
+		}); err != nil {
+			t.Fatalf("seed %d: churn: %v", seed, err)
+		}
+		if err := w.Settle(); err != nil {
+			t.Fatalf("seed %d: settle: %v", seed, err)
+		}
+		rep := w.Check()
+		if !rep.Safe() {
+			t.Fatalf("seed %d: SAFETY violation under reordering: %v", seed, rep)
+		}
+		if len(rep.Garbage) != 0 {
+			t.Errorf("seed %d: residual garbage under reordering: %v", seed, rep)
+		}
+	}
+}
+
+// TestChurnDuplicatedMessages: duplication must be entirely harmless (§5:
+// GGD messages are idempotent).
+func TestChurnDuplicatedMessages(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		w := sim.NewWorld(5, netsim.Faults{Seed: seed, DupProb: 0.3, Reorder: true}, site.DefaultOptions())
+		if _, err := mutator.Churn(w, mutator.ChurnConfig{
+			Seed:            seed * 31,
+			Ops:             200,
+			StepsBetweenOps: 2,
+		}); err != nil {
+			t.Fatalf("seed %d: churn: %v", seed, err)
+		}
+		if err := w.Settle(); err != nil {
+			t.Fatalf("seed %d: settle: %v", seed, err)
+		}
+		rep := w.Check()
+		if !rep.Safe() {
+			t.Fatalf("seed %d: SAFETY violation under duplication: %v", seed, rep)
+		}
+		// Duplicated relays can leave stale conservative hints; one
+		// refresh round resolves them (safety is unconditional, §5).
+		if len(rep.Garbage) != 0 {
+			for i := 0; i < 3; i++ {
+				if err := w.RefreshAll(); err != nil {
+					t.Fatalf("seed %d: refresh: %v", seed, err)
+				}
+				if err := w.Settle(); err != nil {
+					t.Fatalf("seed %d: settle: %v", seed, err)
+				}
+			}
+			rep = w.Check()
+			if !rep.Safe() {
+				t.Fatalf("seed %d: SAFETY violation after dup recovery: %v", seed, rep)
+			}
+			if len(rep.Garbage) != 0 {
+				t.Errorf("seed %d: residual garbage under duplication after refresh: %v", seed, rep)
+			}
+		}
+	}
+}
+
+// TestChurnLossyNetwork drops GGD control traffic at random. Safety must
+// hold unconditionally; loss may only cause residual garbage (§1: "loss of
+// messages cannot cause erroneous identification of live objects as being
+// garbage... can only cause residual garbage to remain undetected").
+func TestChurnLossyNetwork(t *testing.T) {
+	residualRuns := 0
+	for seed := int64(1); seed <= 25; seed++ {
+		w := sim.NewWorld(5, netsim.Faults{Seed: seed, DropProb: 0.15, Reorder: true}, site.DefaultOptions())
+		if _, err := mutator.Churn(w, mutator.ChurnConfig{
+			Seed:            seed * 17,
+			Ops:             200,
+			StepsBetweenOps: 2,
+		}); err != nil {
+			t.Fatalf("seed %d: churn: %v", seed, err)
+		}
+		if err := w.Settle(); err != nil {
+			t.Fatalf("seed %d: settle: %v", seed, err)
+		}
+		rep := w.Check()
+		if !rep.Safe() {
+			t.Fatalf("seed %d: SAFETY violation under loss: %v", seed, rep)
+		}
+		if len(rep.Garbage) > 0 {
+			residualRuns++
+		}
+
+		// Heal the network and run recovery refresh rounds: residual
+		// garbage shrinks (idempotent re-propagation); safety persists.
+		w.Net().SetDropProb(0)
+		before := len(rep.Garbage)
+		for i := 0; i < 4; i++ {
+			if err := w.RefreshAll(); err != nil {
+				t.Fatalf("seed %d: refresh: %v", seed, err)
+			}
+			if err := w.Settle(); err != nil {
+				t.Fatalf("seed %d: settle after refresh: %v", seed, err)
+			}
+		}
+		rep = w.Check()
+		if !rep.Safe() {
+			t.Fatalf("seed %d: SAFETY violation after recovery: %v", seed, rep)
+		}
+		if got := len(rep.Garbage); got > before {
+			t.Errorf("seed %d: recovery increased residual garbage: %d -> %d", seed, before, got)
+		}
+	}
+	t.Logf("runs with residual garbage before recovery: %d/25", residualRuns)
+}
+
+// TestChurnPartition: messages across a partition are lost; after healing
+// and refreshing, the system recovers without ever violating safety.
+func TestChurnPartition(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		w := sim.NewWorld(6, netsim.Faults{Seed: seed}, site.DefaultOptions())
+		// Partition sites {1,2,3} from {4,5,6} mid-workload.
+		if _, err := mutator.Churn(w, mutator.ChurnConfig{Seed: seed, Ops: 100, StepsBetweenOps: 2}); err != nil {
+			t.Fatalf("seed %d: churn: %v", seed, err)
+		}
+		w.Net().SetPartition(partition3v3)
+		if _, err := mutator.Churn(w, mutator.ChurnConfig{Seed: seed * 3, Ops: 100, StepsBetweenOps: 2}); err != nil {
+			t.Fatalf("seed %d: churn under partition: %v", seed, err)
+		}
+		if err := w.Settle(); err != nil {
+			t.Fatalf("seed %d: settle: %v", seed, err)
+		}
+		if rep := w.Check(); !rep.Safe() {
+			t.Fatalf("seed %d: SAFETY violation under partition: %v", seed, rep)
+		}
+
+		w.Net().SetPartition(nil)
+		for i := 0; i < 4; i++ {
+			if err := w.RefreshAll(); err != nil {
+				t.Fatalf("seed %d: refresh: %v", seed, err)
+			}
+			if err := w.Settle(); err != nil {
+				t.Fatalf("seed %d: settle: %v", seed, err)
+			}
+		}
+		if rep := w.Check(); !rep.Safe() {
+			t.Fatalf("seed %d: SAFETY violation after heal: %v", seed, rep)
+		}
+	}
+}

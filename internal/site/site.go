@@ -1,0 +1,448 @@
+// Package site assembles one site of the distributed system: a heap, a
+// local collector, a GGD engine and a network endpoint. Runtime is the
+// public API surface the examples and the simulation harness program
+// against — its methods are the mutator operations of the paper's model
+// (§3.1): creating objects locally and remotely, copying references across
+// sites (including third-party references), and destroying references.
+//
+// Runtime methods are safe for concurrent use; one mutex serialises the
+// mutator, the network handler and the collector, which models the paper's
+// per-site single mutator/collector interleaving.
+package site
+
+import (
+	"fmt"
+	"sync"
+
+	"causalgc/internal/core"
+	"causalgc/internal/heap"
+	"causalgc/internal/ids"
+	"causalgc/internal/netsim"
+	"causalgc/internal/vclock"
+	"causalgc/internal/wire"
+)
+
+// Options configure a Runtime.
+type Options struct {
+	// AutoCollect runs a local collection whenever GGD removes a local
+	// cluster, so reclamation cascades without explicit Collect calls.
+	// Defaults to true via New.
+	AutoCollect bool
+	// Engine tunes the GGD engine (the unsafe ablation switch).
+	Engine core.Options
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{AutoCollect: true}
+}
+
+// pendingRef is a buffered reference transfer awaiting its holder.
+type pendingRef struct {
+	target   heap.Ref
+	intro    ids.ClusterID
+	introSeq uint64
+}
+
+// Runtime is one site.
+type Runtime struct {
+	mu     sync.Mutex
+	id     ids.SiteID
+	heap   *heap.Heap
+	engine *core.Engine
+	net    netsim.Network
+	opts   Options
+
+	// pendingRefs buffers reference transfers that arrived before the
+	// creation message of their holder object (cross-sender races).
+	pendingRefs map[ids.ObjectID][]pendingRef
+	// removals counts GGD removals since the last collection.
+	removals int
+	// mint numbers identities created by this site on behalf of others.
+	mint uint64
+}
+
+// New creates a site runtime and registers it on the network.
+func New(id ids.SiteID, net netsim.Network, opts Options) *Runtime {
+	r := &Runtime{
+		id:          id,
+		net:         net,
+		opts:        opts,
+		pendingRefs: make(map[ids.ObjectID][]pendingRef),
+	}
+	r.engine = core.New(id, (*sender)(r), r.onRemove, opts.Engine)
+	r.heap = heap.New(id, (*hooks)(r))
+	r.engine.Register(r.heap.RootCluster())
+	net.Register(id, r.handle)
+	return r
+}
+
+// ID returns the site identifier.
+func (r *Runtime) ID() ids.SiteID { return r.id }
+
+// Root returns a reference to the site's root object; its slots model the
+// mutator's named references.
+func (r *Runtime) Root() heap.Ref {
+	return r.heap.RootRef()
+}
+
+// --- heap.Hooks and core plumbing ---------------------------------------
+
+// hooks adapts Runtime to heap.Hooks without exposing the methods on the
+// public API.
+type hooks Runtime
+
+func (h *hooks) EdgeUp(holder, target ids.ClusterID, first bool, intro ids.ClusterID, introSeq uint64) {
+	(*Runtime)(h).engine.EdgeUp(holder, target, first, intro, introSeq)
+}
+
+func (h *hooks) EdgeDown(holder, target ids.ClusterID) {
+	(*Runtime)(h).engine.EdgeDown(holder, target)
+}
+
+var _ heap.Hooks = (*hooks)(nil)
+
+// sender adapts Runtime to core.Sender.
+type sender Runtime
+
+func (s *sender) SendDestroy(from, to ids.ClusterID, m core.DestroyMsg) {
+	s.net.Send(s.id, to.Site, wire.Destroy{From: from, To: to, M: m})
+}
+
+func (s *sender) SendAssert(from, to ids.ClusterID, m core.AssertMsg) {
+	s.net.Send(s.id, to.Site, wire.Assert{From: from, To: to, M: m})
+}
+
+func (s *sender) SendPropagate(from, to ids.ClusterID, m core.Propagation) {
+	s.net.Send(s.id, to.Site, wire.Propagate{From: from, To: to, M: m})
+}
+
+var _ core.Sender = (*sender)(nil)
+
+// onRemove is the engine's removal callback: discard the cluster's global
+// roots from the local root set (§2.2) and schedule reclamation.
+func (r *Runtime) onRemove(cl ids.ClusterID) {
+	// Errors are impossible here by construction: the engine only removes
+	// clusters it registered, which exist in the heap.
+	_ = r.heap.RemoveCluster(cl)
+	r.removals++
+}
+
+// handle is the network delivery entry point.
+func (r *Runtime) handle(from ids.SiteID, p netsim.Payload) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch m := p.(type) {
+	case wire.Create:
+		r.handleCreate(m)
+	case wire.RefTransfer:
+		r.handleRefTransfer(m)
+	case wire.Destroy:
+		r.engine.HandleDestroy(m.To, m.From, m.M)
+	case wire.Propagate:
+		r.engine.HandlePropagate(m.To, m.From, m.M)
+	case wire.Assert:
+		r.engine.HandleAssert(m.To, m.From, m.M)
+	}
+	r.settleLocked()
+}
+
+func (r *Runtime) handleCreate(m wire.Create) {
+	r.engine.HandleCreate(m.Cluster, m.Creator, m.Stamp)
+	o, err := r.heap.NewObjectAt(m.Obj, m.Cluster)
+	if err != nil {
+		return // duplicate create: idempotent drop
+	}
+	// The object is remotely referenced from birth: it is a global root.
+	_ = r.heap.MarkEntry(o.ID())
+	for _, pr := range r.pendingRefs[m.Obj] {
+		_, _ = r.heap.AddRefIntro(m.Obj, pr.target, pr.intro, pr.introSeq)
+	}
+	delete(r.pendingRefs, m.Obj)
+}
+
+func (r *Runtime) handleRefTransfer(m wire.RefTransfer) {
+	if r.heap.Object(m.ToObj) == nil {
+		// The holder's creation message has not arrived yet (different
+		// sender): buffer and replay. If the holder was already collected,
+		// the buffered entry is dropped with the next sweep of the map.
+		r.pendingRefs[m.ToObj] = append(r.pendingRefs[m.ToObj], pendingRef{
+			target: m.Target, intro: m.FromCluster, introSeq: m.IntroSeq,
+		})
+		return
+	}
+	// AddRefIntro triggers EdgeUp: the receiver stamps the new edge in
+	// its own clock space — the authoritative lazy log-keeping record
+	// (§3.4) — and sends the edge-assert resolving the introduction.
+	_, _ = r.heap.AddRefIntro(m.ToObj, m.Target, m.FromCluster, m.IntroSeq)
+}
+
+// settleLocked drives removal cascades to completion: GGD removals clear
+// entry tables, the following collection destroys the last proxies, whose
+// destruction messages may remove further local clusters, and so on.
+func (r *Runtime) settleLocked() {
+	r.engine.Drain()
+	if !r.opts.AutoCollect {
+		return
+	}
+	for r.removals > 0 {
+		r.removals = 0
+		r.heap.Collect()
+		r.engine.Drain()
+	}
+}
+
+// --- Mutator API ---------------------------------------------------------
+
+// NewLocal creates an object in a fresh cluster on this site, referenced
+// from holder (often the root object). It returns a reference to the new
+// object.
+func (r *Runtime) NewLocal(holder ids.ObjectID) (heap.Ref, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.heap.Object(holder) == nil {
+		return heap.NilRef, fmt.Errorf("site %v: NewLocal holder %v unknown", r.id, holder)
+	}
+	cl := r.heap.NewCluster()
+	r.engine.Register(cl)
+	o := r.heap.NewObject(cl)
+	ref := heap.Ref{Obj: o.ID(), Cluster: cl}
+	if _, err := r.heap.AddRef(holder, ref); err != nil {
+		return heap.NilRef, err
+	}
+	r.settleLocked()
+	return ref, nil
+}
+
+// NewLocalIn creates an object in an existing local cluster, referenced
+// from holder. Used by coarse clustering policies (§3.5).
+func (r *Runtime) NewLocalIn(holder ids.ObjectID, cl ids.ClusterID) (heap.Ref, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cl.Site != r.id {
+		return heap.NilRef, fmt.Errorf("site %v: NewLocalIn foreign cluster %v", r.id, cl)
+	}
+	if r.heap.Object(holder) == nil {
+		return heap.NilRef, fmt.Errorf("site %v: NewLocalIn holder %v unknown", r.id, holder)
+	}
+	r.engine.Register(cl)
+	o := r.heap.NewObject(cl)
+	ref := heap.Ref{Obj: o.ID(), Cluster: cl}
+	if _, err := r.heap.AddRef(holder, ref); err != nil {
+		return heap.NilRef, err
+	}
+	r.settleLocked()
+	return ref, nil
+}
+
+// NewCluster mints a fresh local cluster identity (for NewLocalIn).
+func (r *Runtime) NewCluster() ids.ClusterID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cl := r.heap.NewCluster()
+	r.engine.Register(cl)
+	return cl
+}
+
+// NewRemote creates an object in a fresh cluster on the target site,
+// referenced from holder: the paper's "a root object 1 creates an object
+// 2" (§3.1). The creator mints the identities; the creation message
+// carries the creator's stamp — the only piggybacked log-keeping datum.
+func (r *Runtime) NewRemote(holder ids.ObjectID, target ids.SiteID) (heap.Ref, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ho := r.heap.Object(holder)
+	if ho == nil {
+		return heap.NilRef, fmt.Errorf("site %v: NewRemote holder %v unknown", r.id, holder)
+	}
+	if target == r.id {
+		return heap.NilRef, fmt.Errorf("site %v: NewRemote to self; use NewLocal", r.id)
+	}
+	r.mint++
+	obj := ids.ObjectID{Site: target, Seq: uint64(r.id)<<32 | r.mint}
+	cl := ids.ClusterID{Site: target, Seq: uint64(r.id)<<32 | r.mint}
+	ref := heap.Ref{Obj: obj, Cluster: cl}
+	// Order matters: AddRefIntro fires EdgeUp, which bumps the creator's
+	// clock for the creation event; the stamp shipped with the message is
+	// that clock, so the new object's own row records its creator
+	// correctly. ids.CreationSeq marks the creation (no edge-assert: the
+	// creation message is the assert).
+	if _, err := r.heap.AddRefIntro(holder, ref, ids.NoCluster, ids.CreationSeq); err != nil {
+		return heap.NilRef, err
+	}
+	stamp := r.engine.RemoteCreationStamp(ho.Cluster())
+	r.net.Send(r.id, target, wire.Create{
+		Creator: ho.Cluster(),
+		Stamp:   stamp,
+		Obj:     obj,
+		Cluster: cl,
+	})
+	r.settleLocked()
+	return ref, nil
+}
+
+// SendRef copies a reference the sender holds to a (usually remote)
+// object: the mutator messages of Fig 7. fromObj must currently hold
+// target in one of its slots; to names the destination object. When the
+// destination is local the copy is immediate; otherwise a single mutator
+// message is sent — lazy log-keeping adds no control messages even when
+// target denotes a third-party object on yet another site (§3.4).
+func (r *Runtime) SendRef(fromObj ids.ObjectID, to heap.Ref, target heap.Ref) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fo := r.heap.Object(fromObj)
+	if fo == nil {
+		return fmt.Errorf("site %v: SendRef from unknown object %v", r.id, fromObj)
+	}
+	if !r.holds(fo, target) {
+		return fmt.Errorf("site %v: %v does not hold %v", r.id, fromObj, target)
+	}
+	if to.Obj.Site == r.id {
+		if r.heap.Object(to.Obj) == nil {
+			return fmt.Errorf("site %v: SendRef to unknown local object %v", r.id, to.Obj)
+		}
+		seq := r.engine.SentRef(fo.Cluster(), target.Cluster, to.Cluster)
+		_, err := r.heap.AddRefIntro(to.Obj, target, fo.Cluster(), seq)
+		r.settleLocked()
+		return err
+	}
+	// Once a reference to a local object crosses the site boundary, the
+	// object becomes a global root (§2.1): local GC must treat it as a
+	// root until GGD removes its cluster.
+	if target.Cluster.Site == r.id {
+		_ = r.heap.MarkEntry(target.Obj)
+	}
+	// Sender-side lazy log-keeping: DV_i[k][j]++ (or DV_i[i][j]++ when
+	// sending the holder's own cluster reference).
+	seq := r.engine.SentRef(fo.Cluster(), target.Cluster, to.Cluster)
+	r.net.Send(r.id, to.Obj.Site, wire.RefTransfer{
+		FromCluster: fo.Cluster(),
+		IntroSeq:    seq,
+		ToObj:       to.Obj,
+		Target:      target,
+	})
+	r.settleLocked()
+	return nil
+}
+
+func (r *Runtime) holds(o *heap.Object, target heap.Ref) bool {
+	for _, s := range o.Slots() {
+		if s == target {
+			return true
+		}
+	}
+	// The holder may hold a different ref to the same cluster (e.g. its
+	// own cluster's reference); sending one's own reference is always
+	// legal, mirroring the paper's "sends a reference denoting itself".
+	return target.Obj == o.ID()
+}
+
+// AddRef stores target into a new slot of holder (a local mutation).
+func (r *Runtime) AddRef(holder ids.ObjectID, target heap.Ref) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := r.heap.AddRef(holder, target)
+	r.settleLocked()
+	return err
+}
+
+// DropRefs clears every slot of holder that references target.Obj: the
+// mutator destroys its edge(s) to that object.
+func (r *Runtime) DropRefs(holder ids.ObjectID, target heap.Ref) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.heap.DropRefs(holder, target.Obj)
+	r.settleLocked()
+	return err
+}
+
+// ClearSlot drops one slot of holder.
+func (r *Runtime) ClearSlot(holder ids.ObjectID, slot int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.heap.ClearSlot(holder, slot)
+	r.settleLocked()
+	return err
+}
+
+// Collect runs local collections until no further GGD cascade fires.
+func (r *Runtime) Collect() heap.CollectStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	stats := r.heap.Collect()
+	r.engine.Drain()
+	r.settleLocked()
+	return stats
+}
+
+// Refresh re-propagates every local process's vector: the recovery round
+// that re-detects residual garbage after message loss (§5).
+func (r *Runtime) Refresh() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.engine.Refresh()
+	r.settleLocked()
+}
+
+// --- Introspection -------------------------------------------------------
+
+// NumObjects returns the number of live heap objects (including the root
+// object).
+func (r *Runtime) NumObjects() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.heap.NumObjects()
+}
+
+// HasObject reports whether the object still exists.
+func (r *Runtime) HasObject(obj ids.ObjectID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.heap.Object(obj) != nil
+}
+
+// ClusterRemoved reports whether GGD removed the cluster.
+func (r *Runtime) ClusterRemoved(cl ids.ClusterID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.engine.Removed(cl)
+}
+
+// EngineStats returns the GGD engine counters.
+func (r *Runtime) EngineStats() core.Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.engine.Stats()
+}
+
+// LogSnapshot returns a deep copy of a local process's log, or nil.
+func (r *Runtime) LogSnapshot(cl ids.ClusterID) *vclock.Log {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.engine.LogSnapshot(cl)
+}
+
+// Clock returns a local process's event counter.
+func (r *Runtime) Clock(cl ids.ClusterID) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.engine.Clock(cl)
+}
+
+// ObjectSnapshot is one object's state for the oracle.
+type ObjectSnapshot struct {
+	ID      ids.ObjectID
+	Cluster ids.ClusterID
+	Slots   []heap.Ref
+}
+
+// Snapshot exports the site's objects and root for the global oracle.
+func (r *Runtime) Snapshot() (root ids.ObjectID, objs []ObjectSnapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	root = r.heap.RootObject()
+	for _, o := range r.heap.Objects() {
+		objs = append(objs, ObjectSnapshot{ID: o.ID(), Cluster: o.Cluster(), Slots: o.Slots()})
+	}
+	return root, objs
+}

@@ -1,0 +1,102 @@
+// Package vclock implements the timestamp machinery of the paper:
+// per-process event stamps, sparse dependency vectors (DDVs), the Ē
+// ("epsilon") destruction stamps of §3.1–§3.2, the Λ predicate, vector
+// comparison in the Schwarz–Mattern partial order, and the two-dimensional
+// per-root logs (DV_i) of §3.3 with the merge operations used by the GGD
+// Receive/ComputeV procedures.
+//
+// Stamp spaces. Every global root (cluster) numbers its log-keeping events
+// with a monotonically increasing counter. A stamp in column q of any
+// vector is, conceptually, an event index of process q. Lazy log-keeping
+// (§3.4) lets senders record conservative lower bounds ("counts") in
+// columns they do not own; receivers re-stamp columns they own with their
+// real clock, which is what makes destruction stamps Ē(clock) supersede
+// every creation stamp of the edges they cancel (see DESIGN.md §2).
+package vclock
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Stamp is one entry of a dependency vector: the index of a log-keeping
+// event, plus the Ē marker for edge-destruction events (§3.1). The zero
+// Stamp means "no log-keeping message ever received from this process"
+// (paper: the value 0).
+type Stamp struct {
+	// Seq is the event index. Zero means "never".
+	Seq uint64
+	// Eps marks an Ē stamp: the last log-keeping control message received
+	// from the corresponding process was an edge destruction. For
+	// reachability purposes an Ē stamp is treated as if the edge had never
+	// been created (§3.2), but its Seq still orders it against creation
+	// stamps so that a destruction cancels exactly the creations that
+	// causally precede it.
+	Eps bool
+}
+
+// Zero is the never-heard-from stamp.
+var Zero Stamp
+
+// At returns a live (creation) stamp with the given sequence number.
+func At(seq uint64) Stamp { return Stamp{Seq: seq} }
+
+// Eps returns an Ē stamp with the given sequence number: the paper's
+// Ē(c), recorded when an edge-destruction control message stamped c is
+// processed.
+func Eps(seq uint64) Stamp { return Stamp{Seq: seq, Eps: true} }
+
+// Dead is Λ in the paper (§3.3): true for the zero stamp and for every Ē
+// stamp. A dead stamp certifies the absence of a live edge-creation event.
+func (s Stamp) Dead() bool { return s.Seq == 0 || s.Eps }
+
+// Live is the negation of Dead.
+func (s Stamp) Live() bool { return !s.Dead() }
+
+// Less orders stamps for merging: primarily by sequence number; at equal
+// sequence the Ē stamp supersedes the live stamp, because a destruction
+// cancels the creations whose stamps do not exceed its own.
+func (s Stamp) Less(o Stamp) bool {
+	if s.Seq != o.Seq {
+		return s.Seq < o.Seq
+	}
+	return !s.Eps && o.Eps
+}
+
+// Merge returns the superseding stamp of the two (the max in Less order).
+// Merge is commutative, associative and idempotent, which is what makes
+// GGD messages idempotent and loss/duplication safe (§5).
+func (s Stamp) Merge(o Stamp) Stamp {
+	if s.Less(o) {
+		return o
+	}
+	return s
+}
+
+// JoinPath combines stamps for the same column contributed by different
+// rows of a log, i.e. by different paths of the global root graph. A live
+// stamp on any path proves a (potentially) live path, so live beats Ē
+// regardless of sequence; between two live or two dead stamps the
+// superseding one wins. See DESIGN.md interpretation #3.
+func (s Stamp) JoinPath(o Stamp) Stamp {
+	sl, ol := s.Live(), o.Live()
+	switch {
+	case sl && !ol:
+		return s
+	case ol && !sl:
+		return o
+	default:
+		return s.Merge(o)
+	}
+}
+
+// String renders "0", "17" or "Ē17".
+func (s Stamp) String() string {
+	if s.Eps {
+		return "Ē" + strconv.FormatUint(s.Seq, 10)
+	}
+	return strconv.FormatUint(s.Seq, 10)
+}
+
+// GoString makes %#v readable in test failures.
+func (s Stamp) GoString() string { return fmt.Sprintf("vclock.Stamp{Seq:%d,Eps:%t}", s.Seq, s.Eps) }

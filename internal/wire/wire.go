@@ -1,0 +1,156 @@
+// Package wire defines the physical messages exchanged between sites.
+//
+// The mutator messages (Create, Ref) carry no vector piggyback beyond the
+// single creation stamp: this is the paper's lazy log-keeping (§3.4) —
+// reference exchange requires no additional control messages, even for
+// third-party references. The GGD messages (Destroy, Propagate) carry one
+// dependency vector each; Destroy additionally bundles the delayed
+// third-party edge-creation entries ("multiple edge-creation control
+// messages can be bundled with an edge-destruction control message in one
+// atomic delivery", §3.4).
+package wire
+
+import (
+	"causalgc/internal/core"
+	"causalgc/internal/heap"
+	"causalgc/internal/ids"
+	"causalgc/internal/netsim"
+)
+
+// Message kinds, used for statistics. The paper's §4 comparison counts
+// messages by purpose, so kinds distinguish mutator traffic from GGD
+// control traffic.
+const (
+	KindCreate    = "mut.create"
+	KindRef       = "mut.ref"
+	KindDestroy   = "ggd.destroy"
+	KindPropagate = "ggd.prop"
+	KindAssert    = "ggd.assert"
+)
+
+// Create asks the destination site to materialise a new object referenced
+// by the creator: the paper's "root object 1 creates an object 2" (§3.1).
+// The creator mints the identities, so no reply is needed.
+type Create struct {
+	// Creator is the holding cluster (source of the new edge).
+	Creator ids.ClusterID
+	// Stamp is the creator's clock at the send: the only piggybacked
+	// log-keeping datum, carried by the creation message itself.
+	Stamp uint64
+	// Obj and Cluster are the minted identities of the new object.
+	Obj     ids.ObjectID
+	Cluster ids.ClusterID
+}
+
+// Kind implements netsim.Payload.
+func (Create) Kind() string { return KindCreate }
+
+// ApplicationTraffic implements netsim.Application: creation is reliable
+// mutator RPC.
+func (Create) ApplicationTraffic() bool { return true }
+
+// ApproxSize implements netsim.Payload.
+func (Create) ApproxSize() int { return 48 }
+
+// RefTransfer carries a copy of a reference from a holder object to a
+// remote object: the mutator message of Fig 7 (light grey arrows). Target
+// may denote the sender itself, a local object, or a third-party object on
+// yet another site — the receiver cannot and need not tell the difference.
+type RefTransfer struct {
+	// FromCluster is the sending cluster: the introducer of the edge the
+	// receiver is about to create.
+	FromCluster ids.ClusterID
+	// IntroSeq is the sender's forwarding sequence number for this copy
+	// (the paper's DV_i[k][j] increment), echoed by the receiver's
+	// edge-assert to resolve the introduction hint.
+	IntroSeq uint64
+	// ToObj is the receiving object; its site is the destination.
+	ToObj ids.ObjectID
+	// Target is the reference being copied.
+	Target heap.Ref
+}
+
+// Kind implements netsim.Payload.
+func (RefTransfer) Kind() string { return KindRef }
+
+// ApplicationTraffic implements netsim.Application: reference exchange is
+// reliable mutator RPC.
+func (RefTransfer) ApplicationTraffic() bool { return true }
+
+// ApproxSize implements netsim.Payload.
+func (RefTransfer) ApproxSize() int { return 56 }
+
+// Destroy is the edge-destruction control message (§3.4): sent when the
+// last reference from From's cluster to To's cluster is destroyed, and by
+// the finalisation of detected garbage (§3.2). It carries the row kept by
+// the sender on behalf of To: authoritative stamps with the sender's
+// column replaced by Ē(clock), the bundled third-party edge-creation
+// hints, and the processed-introduction record.
+type Destroy struct {
+	From ids.ClusterID
+	To   ids.ClusterID
+	M    core.DestroyMsg
+}
+
+// Kind implements netsim.Payload.
+func (Destroy) Kind() string { return KindDestroy }
+
+// ApproxSize implements netsim.Payload.
+func (d Destroy) ApproxSize() int {
+	return 32 + 24*(len(d.M.Auth)+len(d.M.Hints)+len(d.M.Processed))
+}
+
+// Assert is the edge-assert control message: the deferred, idempotent
+// acknowledgement a cluster sends when it first acquires a reference to a
+// remote cluster, carrying its authoritative live stamp and resolving the
+// introduction that created the edge (see package core).
+type Assert struct {
+	From ids.ClusterID
+	To   ids.ClusterID
+	M    core.AssertMsg
+}
+
+// Kind implements netsim.Payload.
+func (Assert) Kind() string { return KindAssert }
+
+// ApproxSize implements netsim.Payload.
+func (Assert) ApproxSize() int { return 56 }
+
+// Propagate circulates increasingly accurate approximations of dependency
+// vectors along the out-edges of the global root graph (§3.3, step 3 of
+// the algorithm): the sender's first-hand incoming-edge vector and clock,
+// the confirmed first-hand vectors of its known ancestry, and its
+// on-behalf entries. Everything is edge-keyed, so receivers merge per
+// edge and every member of a garbage cycle converges on the same causal
+// picture in O(cycle) messages.
+type Propagate struct {
+	From ids.ClusterID
+	To   ids.ClusterID
+	M    core.Propagation
+}
+
+// Kind implements netsim.Payload.
+func (Propagate) Kind() string { return KindPropagate }
+
+// ApproxSize implements netsim.Payload.
+func (p Propagate) ApproxSize() int {
+	n := 40 + 24*len(p.M.Auth) + 16*len(p.M.HintCols)
+	for _, r := range p.M.Rows {
+		n += 16 + 24*len(r.Auth) + 16*len(r.HintCols)
+	}
+	for _, r := range p.M.OBs {
+		n += 16 + 24*(len(r.Auth)+len(r.Hints))
+	}
+	return n
+}
+
+// Interface checks.
+var (
+	_ netsim.Payload     = Create{}
+	_ netsim.Payload     = RefTransfer{}
+	_ netsim.Payload     = Destroy{}
+	_ netsim.Payload     = Propagate{}
+	_ netsim.Payload     = Assert{}
+	_ netsim.Application = Create{}
+	_ netsim.Application = RefTransfer{}
+)
