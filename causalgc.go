@@ -1,0 +1,118 @@
+// Package causalgc is the public API of the causalgc distributed garbage
+// collector: a reproduction-grown implementation of comprehensive Global
+// Garbage Detection (GGD) by tracking causal dependencies of relevant
+// mutator events (Louboutin & Cahill, ICDCS 1997). It detects and
+// reclaims all distributed garbage — cycles spanning any number of sites
+// included — without stop-the-world phases or global consensus, and
+// tolerates loss, duplication and reordering of its control messages.
+//
+// # Model
+//
+// The system is a set of sites, each an independent address space with
+// its own heap, local mark-sweep collector and GGD engine. Objects are
+// containers of reference slots; references may cross site boundaries.
+// Applications drive the mutator API of Node: create objects locally or
+// on remote sites, copy held references to other objects (including
+// third-party transfers), and drop them. Everything else — lazy
+// log-keeping, dependency-vector propagation, garbage detection and
+// reclamation — happens underneath.
+//
+// # Quickstart
+//
+// A Node is one site; a Cluster assembles several over a shared
+// transport. The default Cluster transport is the deterministic
+// in-memory simulator, which makes runs reproducible:
+//
+//	c := causalgc.NewCluster(3)
+//	defer c.Close()
+//	n1 := c.Node(1)
+//	a, _ := n1.NewRemote(n1.Root().Obj, 2) // object on site 2
+//	c.Run()                                // deliver messages
+//	b, _ := c.Node(2).NewRemote(a.Obj, 3)  // object on site 3
+//	c.Run()
+//	c.Node(2).SendRef(a.Obj, b, a)         // cycle a ⇄ b across sites
+//	c.Run()
+//	n1.DropRefs(n1.Root().Obj, a)          // now {a,b} is distributed garbage
+//	c.Settle()                             // GGD detects and reclaims it
+//
+// The same engine runs over real sockets: build each Node in its own
+// process with WithTransport(tcp.New(...)) — see transport/tcp and
+// cmd/causalgc-node.
+//
+// # Structure
+//
+// Public packages: causalgc (Node, Cluster, workloads, oracle checks),
+// causalgc/transport (the Transport interface and in-memory backends),
+// causalgc/transport/tcp (the socket backend) and causalgc/eval (the
+// experiment harness reproducing the paper's evaluation). The protocol
+// internals live under internal/ — see DESIGN.md for the algorithm
+// reconstruction and README.md for the package map.
+package causalgc
+
+import (
+	"causalgc/internal/core"
+	"causalgc/internal/heap"
+	"causalgc/internal/ids"
+	"causalgc/internal/oracle"
+	"causalgc/internal/site"
+	"causalgc/internal/vclock"
+)
+
+// SiteID identifies one site. Numbering starts at 1; zero is "no site".
+type SiteID = ids.SiteID
+
+// NoSite is the zero SiteID.
+const NoSite = ids.NoSite
+
+// ObjectID identifies a heap object anywhere in the system.
+type ObjectID = ids.ObjectID
+
+// ClusterID identifies a vertex of the global root graph: a group of
+// objects collected as a unit (at the default granularity, every object
+// is its own cluster).
+type ClusterID = ids.ClusterID
+
+// Ref names a reference target: the object and the cluster it belongs
+// to. Node methods accept and return Refs.
+type Ref = heap.Ref
+
+// NilRef is the empty reference.
+var NilRef = heap.NilRef
+
+// CollectStats reports one local mark-sweep collection.
+type CollectStats = heap.CollectStats
+
+// EngineStats counts GGD engine activity on one node.
+type EngineStats = core.Stats
+
+// EngineOptions tune the GGD engine. The zero value is the sound
+// production configuration; the Unsafe fields reproduce the paper's
+// literal (racy) removal guard for ablation studies, and RemoveObserver
+// exposes each removed process's final log for tracing.
+type EngineOptions = core.Options
+
+// Log is the two-dimensional dependency-vector log a global root keeps;
+// exposed read-only for diagnostics (Node.LogSnapshot, RemoveObserver).
+type Log = vclock.Log
+
+// Report is the verdict of a global reachability oracle over a set of
+// nodes: live count, undetected garbage, and dangling references (safety
+// violations). See Cluster.Check.
+type Report = oracle.Report
+
+// Observer receives node lifecycle events: cluster removals decided by
+// GGD and local collections. Callbacks run with the node's internal lock
+// held — they must be fast and must not call back into the Node.
+type Observer = site.Observer
+
+// Check runs the global reachability oracle over the given nodes: ground
+// truth no real site can compute, for tests and demos. All nodes of the
+// system must be passed, and the system should be quiescent for a
+// meaningful liveness verdict.
+func Check(nodes ...*Node) Report {
+	rts := make([]*site.Runtime, len(nodes))
+	for i, n := range nodes {
+		rts[i] = n.rt
+	}
+	return oracle.Check(rts...)
+}

@@ -1,0 +1,161 @@
+package causalgc
+
+import (
+	"fmt"
+	"time"
+
+	"causalgc/internal/sim"
+	"causalgc/internal/site"
+	"causalgc/transport"
+)
+
+// Cluster assembles n nodes (site IDs 1..n) over one shared transport:
+// the standard way to run a whole system in a single process. Without
+// WithTransport the cluster runs over the deterministic in-memory
+// simulator, so runs are reproducible; pass transport.NewDeterministic
+// with a fault plan to inject loss, duplication, partitions or
+// reordering, or transport.NewAsync for real in-process concurrency.
+//
+// A cluster over the deterministic default must be driven from a single
+// goroutine (the simulator is single-threaded by design); over the
+// async or TCP backends, concurrent use is safe.
+//
+// For multi-process systems build each Node separately over
+// transport/tcp; Cluster is the single-process assembly.
+type Cluster struct {
+	tr    transport.Transport
+	det   *transport.Deterministic // non-nil for the deterministic substrate
+	ownTr bool
+	nodes []*Node
+}
+
+// NewCluster builds n nodes over a shared transport. The options are
+// applied to every node; a WithTransport option supplies the shared
+// substrate (and leaves its ownership with the caller).
+func NewCluster(n int, opts ...Option) *Cluster {
+	cfg := newConfig(opts)
+	ownTr := false
+	if cfg.tr == nil {
+		cfg.tr = transport.NewDeterministic(transport.Faults{Seed: 1})
+		ownTr = true
+	}
+	c := &Cluster{tr: cfg.tr, ownTr: ownTr}
+	c.det, _ = cfg.tr.(*transport.Deterministic)
+	for i := 1; i <= n; i++ {
+		c.nodes = append(c.nodes, &Node{
+			rt: site.New(SiteID(i), cfg.tr, cfg.site),
+			tr: cfg.tr,
+		})
+	}
+	return c
+}
+
+// Node returns the node of site id (IDs start at 1), or nil when the
+// cluster hosts no such site.
+func (c *Cluster) Node(id SiteID) *Node {
+	if id < 1 || int(id) > len(c.nodes) {
+		return nil
+	}
+	return c.nodes[int(id)-1]
+}
+
+// Nodes returns all nodes in site order.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Transport returns the shared transport (statistics, fault control).
+func (c *Cluster) Transport() transport.Transport { return c.tr }
+
+// Close releases the cluster's resources, closing the transport if the
+// cluster owns it (deterministic default: a no-op beyond bookkeeping;
+// async: joins the delivery goroutines).
+func (c *Cluster) Close() error {
+	if !c.ownTr {
+		return nil
+	}
+	return closeTransport(c.tr)
+}
+
+// Run delivers in-flight messages: on the deterministic substrate it
+// drains the queues (reproducibly, seeded); on a concurrent in-memory
+// substrate it quiesces; on any other substrate it yields briefly to let
+// deliveries proceed.
+func (c *Cluster) Run() error {
+	if c.det != nil {
+		if _, err := c.det.Run(sim.DefaultStepBudget); err != nil {
+			return fmt.Errorf("causalgc: %w", err)
+		}
+		return nil
+	}
+	if q, ok := c.tr.(interface{ Quiesce() }); ok {
+		q.Quiesce()
+		return nil
+	}
+	time.Sleep(20 * time.Millisecond)
+	return nil
+}
+
+// Step delivers at most one message on the deterministic substrate and
+// reports whether it did; on concurrent substrates delivery is
+// continuous and Step reports false.
+func (c *Cluster) Step() bool {
+	if c.det != nil {
+		return c.det.Step()
+	}
+	return false
+}
+
+// CollectAll runs one local collection on every node, then delivers the
+// resulting traffic.
+func (c *Cluster) CollectAll() error {
+	for _, n := range c.nodes {
+		n.Collect()
+	}
+	return c.Run()
+}
+
+// RefreshAll runs one GGD refresh round on every node, then delivers:
+// the recovery mechanism for residual garbage after message loss.
+func (c *Cluster) RefreshAll() error {
+	for _, n := range c.nodes {
+		n.Refresh()
+	}
+	return c.Run()
+}
+
+// Settle drives the system to a stable state: deliver everything,
+// collect everywhere, repeat until a full round changes nothing. On
+// concurrent substrates stability is demanded for two consecutive
+// rounds, since quiescence observations are momentary.
+func (c *Cluster) Settle() error {
+	if err := c.Run(); err != nil {
+		return err
+	}
+	stable := 0
+	for round := 0; round < sim.DefaultSettleRounds; round++ {
+		before := c.TotalObjects()
+		if err := c.CollectAll(); err != nil {
+			return err
+		}
+		if c.TotalObjects() != before || (c.det != nil && c.det.Pending() > 0) {
+			stable = 0
+			continue
+		}
+		stable++
+		if c.det != nil || stable >= 2 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// TotalObjects returns the live object count across all nodes.
+func (c *Cluster) TotalObjects() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.NumObjects()
+	}
+	return total
+}
+
+// Check runs the global reachability oracle over all nodes.
+func (c *Cluster) Check() Report { return Check(c.nodes...) }

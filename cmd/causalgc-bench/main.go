@@ -1,6 +1,8 @@
 // causalgc-bench regenerates the experiment tables of EXPERIMENTS.md
 // (E5–E8, A2) as plain text. Each experiment corresponds to a figure,
-// claim or comparison in the paper; see DESIGN.md §4 for the index.
+// claim or comparison in the paper; see DESIGN.md §4 for the index. The
+// experiment logic lives in the causalgc/eval package; `go test -bench=.`
+// at the repository root reports the same quantities as benchmarks.
 //
 // Usage:
 //
@@ -10,252 +12,15 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
-	"strings"
 
-	"causalgc/internal/baseline/schelvis"
-	"causalgc/internal/baseline/tracing"
-	"causalgc/internal/ids"
-	"causalgc/internal/mutator"
-	"causalgc/internal/netsim"
-	"causalgc/internal/sim"
-	"causalgc/internal/site"
+	"causalgc/eval"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: E5 E6 E7 E8 A2 or all")
 	flag.Parse()
-	which := strings.ToUpper(*exp)
-	any := which == "ALL"
-	ok := true
-	if any || which == "E5" {
-		ok = e5() && ok
-	}
-	if any || which == "E6" {
-		ok = e6() && ok
-	}
-	if any || which == "E7" {
-		ok = e7() && ok
-	}
-	if any || which == "E8" {
-		ok = e8() && ok
-	}
-	if any || which == "A2" {
-		ok = a2() && ok
-	}
-	if !ok {
+	if !eval.Run(os.Stdout, *exp) {
 		os.Exit(1)
 	}
-}
-
-func e5() bool {
-	fmt.Println("== E5: Fig 3/8 — collecting the distributed cycle {2,3,4} ==")
-	w := sim.NewWorld(4, netsim.Faults{Seed: 1}, site.DefaultOptions())
-	sc, err := mutator.BuildPaperScenario(w)
-	if err != nil {
-		fmt.Println("error:", err)
-		return false
-	}
-	st := w.Net().Stats()
-	base := st.TotalSent()
-	if err := sc.DropRootEdge(); err != nil {
-		fmt.Println("error:", err)
-		return false
-	}
-	if err := w.Settle(); err != nil {
-		fmt.Println("error:", err)
-		return false
-	}
-	rep := w.Check()
-	fmt.Printf("cycle collected: %v; GGD messages: %d (destroy=%d prop=%d)\n\n",
-		rep.Clean(), st.TotalSent()-base, st.Sent("ggd.destroy"), st.Sent("ggd.prop"))
-	return rep.Clean()
-}
-
-func e6() bool {
-	fmt.Println("== E6: §4 — messages to collect a detached doubly-linked list ==")
-	fmt.Printf("%6s %20s %14s %10s\n", "k", "causal(paper-guard)", "causal(sound)", "schelvis")
-	ok := true
-	for _, k := range []int{4, 8, 16, 32} {
-		a, ok1 := causalDLL(k, true)
-		b, ok2 := causalDLL(k, false)
-		c := schelvisDLL(k)
-		ok = ok && ok1 && ok2
-		fmt.Printf("%6d %20d %14d %10d\n", k, a, b, c)
-	}
-	fmt.Println("shape: paper-guard O(k); sound O(k²) (smaller constant); schelvis O(k²)")
-	fmt.Println()
-	return ok
-}
-
-func causalDLL(k int, paperGuard bool) (int, bool) {
-	opts := site.DefaultOptions()
-	opts.Engine.UnsafeSkipConfirmation = paperGuard
-	w := sim.NewWorld(k+1, netsim.Faults{Seed: 1}, opts)
-	dll, err := mutator.BuildDLL(w, k)
-	if err != nil {
-		return 0, false
-	}
-	base := w.Net().Stats().TotalSent()
-	if err := dll.Detach(); err != nil {
-		return 0, false
-	}
-	if err := w.Settle(); err != nil {
-		return 0, false
-	}
-	return w.Net().Stats().TotalSent() - base, w.Check().Clean()
-}
-
-func schelvisDLL(k int) int {
-	net := netsim.NewSim(netsim.Faults{Seed: 1})
-	dets := make([]*schelvis.Detector, k+1)
-	for j := 0; j <= k; j++ {
-		dets[j] = schelvis.New(ids.SiteID(j+1), net, k+2, nil)
-	}
-	root := ids.ClusterID{Site: 1, Seq: 1, Root: true}
-	dets[0].AddVertex(root)
-	elems := make([]ids.ClusterID, k)
-	for j := 0; j < k; j++ {
-		elems[j] = ids.ClusterID{Site: ids.SiteID(j + 2), Seq: 1}
-		dets[j+1].AddVertex(elems[j])
-		dets[0].CreateEdge(root, elems[j])
-	}
-	for j := 0; j+1 < k; j++ {
-		dets[j+1].CreateEdge(elems[j], elems[j+1])
-		dets[j+2].CreateEdge(elems[j+1], elems[j])
-	}
-	net.Run(0)
-	for _, d := range dets {
-		d.Kick()
-	}
-	net.Run(0)
-	base := net.Stats().TotalSent()
-	for _, e := range elems {
-		dets[0].DestroyEdge(root, e)
-	}
-	net.Run(0)
-	return net.Stats().TotalSent() - base
-}
-
-func e7() bool {
-	fmt.Println("== E7: §1/§2.4 — tracing pays per live object; causal pays per garbage ==")
-	fmt.Printf("%22s %14s %14s\n", "workload", "tracing msgs", "causal msgs")
-	for _, sh := range []struct{ live, garbage int }{
-		{50, 5}, {100, 5}, {200, 5}, {50, 50},
-	} {
-		tr := e7Tracing(sh.live, sh.garbage)
-		ca := e7Causal(sh.live, sh.garbage)
-		fmt.Printf("  live=%4d garbage=%3d %14d %14d\n", sh.live, sh.garbage, tr, ca)
-	}
-	fmt.Println("shape: tracing grows with live count; causal is constant in it")
-	fmt.Println()
-	return true
-}
-
-func buildE7(live, garbage int, opts site.Options) (*sim.World, func() error) {
-	w := sim.NewWorld(6, netsim.Faults{Seed: 1}, opts)
-	s1 := w.Site(1)
-	for i := 0; i < live; i++ {
-		if _, err := s1.NewRemote(s1.Root().Obj, ids.SiteID(2+i%5)); err != nil {
-			panic(err)
-		}
-	}
-	prevObj := s1.Root().Obj
-	prevSite := s1
-	drop := func() error { return nil }
-	for i := 0; i < garbage; i++ {
-		ref, err := prevSite.NewRemote(prevObj, ids.SiteID(2+i%5))
-		if err != nil {
-			panic(err)
-		}
-		if i == 0 {
-			r := ref
-			drop = func() error { return s1.DropRefs(s1.Root().Obj, r) }
-		}
-		if err := w.Run(); err != nil {
-			panic(err)
-		}
-		prevObj = ref.Obj
-		prevSite = w.Site(ref.Obj.Site)
-	}
-	w.Run()
-	return w, drop
-}
-
-func e7Tracing(live, garbage int) int {
-	w, drop := buildE7(live, garbage, site.Options{AutoCollect: false})
-	col := tracing.New(w.Sites(), w.Net())
-	st := w.Net().Stats()
-	drop()
-	w.Run()
-	col.RunEpoch(func() { w.Run() })
-	return st.Sent("trace.mark") + st.Sent("trace.start") + st.Sent("trace.ack")
-}
-
-func e7Causal(live, garbage int) int {
-	w, drop := buildE7(live, garbage, site.DefaultOptions())
-	st := w.Net().Stats()
-	base := st.TotalSent()
-	drop()
-	w.Settle()
-	return st.TotalSent() - base
-}
-
-func e8() bool {
-	fmt.Println("== E8: §1/§5 — robustness under control-message loss ==")
-	fmt.Printf("%10s %10s %14s %10s\n", "drop", "residual", "afterRefresh", "dangling")
-	ok := true
-	for _, drop := range []float64{0, 0.1, 0.3} {
-		res, rec, dang := e8Run(drop)
-		fmt.Printf("%10.1f %10d %14d %10d\n", drop, res, rec, dang)
-		ok = ok && dang == 0
-	}
-	fmt.Println("safety is unconditional (dangling always 0); loss costs only latency/residual")
-	fmt.Println()
-	return ok
-}
-
-func e8Run(drop float64) (residual, recovered, dangling int) {
-	for seed := int64(1); seed <= 5; seed++ {
-		w := sim.NewWorld(5, netsim.Faults{Seed: seed, DropProb: drop, Reorder: true}, site.DefaultOptions())
-		mutator.Churn(w, mutator.ChurnConfig{Seed: seed * 17, Ops: 150, StepsBetweenOps: 2})
-		w.Settle()
-		rep := w.Check()
-		residual += len(rep.Garbage)
-		dangling += len(rep.Dangling)
-		w.Net().SetDropProb(0)
-		for i := 0; i < 4; i++ {
-			w.RefreshAll()
-			w.Settle()
-		}
-		rep = w.Check()
-		recovered += len(rep.Garbage)
-		dangling += len(rep.Dangling)
-	}
-	return residual, recovered, dangling
-}
-
-func a2() bool {
-	fmt.Println("== A2: ablation — the paper's literal removal guard is unsound ==")
-	sound := a2Run(false)
-	unsafe := a2Run(true)
-	fmt.Printf("dangling references over 10 churn seeds: sound=%d paper-guard=%d\n", sound, unsafe)
-	fmt.Println("(the row-confirmation guard and introduction hints close the race)")
-	fmt.Println()
-	return sound == 0
-}
-
-func a2Run(unsafeGuard bool) int {
-	opts := site.DefaultOptions()
-	opts.Engine.UnsafeSkipConfirmation = unsafeGuard
-	opts.Engine.UnsafeNoHints = unsafeGuard
-	dangling := 0
-	for seed := int64(1); seed <= 10; seed++ {
-		w := sim.NewWorld(6, netsim.Faults{Seed: seed}, opts)
-		mutator.Churn(w, mutator.ChurnConfig{Seed: seed * 7, Ops: 150, StepsBetweenOps: 3})
-		w.Settle()
-		dangling += len(w.Check().Dangling)
-	}
-	return dangling
 }

@@ -1,5 +1,7 @@
 // causalgc-sim runs causalgc scenarios from the command line and prints
-// oracle verdicts and message statistics.
+// oracle verdicts and message statistics. It programs exclusively
+// against the public API: a Cluster over the deterministic transport and
+// the public workload builders.
 //
 // Usage:
 //
@@ -14,10 +16,8 @@ import (
 	"fmt"
 	"os"
 
-	"causalgc/internal/mutator"
-	"causalgc/internal/netsim"
-	"causalgc/internal/sim"
-	"causalgc/internal/site"
+	"causalgc"
+	"causalgc/transport"
 )
 
 func main() {
@@ -34,60 +34,64 @@ func main() {
 	}
 }
 
+func newCluster(n int, seed int64, drop float64) *causalgc.Cluster {
+	det := transport.NewDeterministic(transport.Faults{Seed: seed, DropProb: drop, Reorder: drop > 0})
+	return causalgc.NewCluster(n, causalgc.WithTransport(det))
+}
+
 func run(scenario string, k, ops, sites int, seed int64, drop float64) error {
-	faults := netsim.Faults{Seed: seed, DropProb: drop, Reorder: drop > 0}
 	switch scenario {
 	case "paper":
-		w := sim.NewWorld(4, faults, site.DefaultOptions())
-		sc, err := mutator.BuildPaperScenario(w)
+		c := newCluster(4, seed, drop)
+		sc, err := causalgc.BuildPaperScenario(c)
 		if err != nil {
 			return err
 		}
 		if err := sc.DropRootEdge(); err != nil {
 			return err
 		}
-		return report(w)
+		return report(c)
 	case "ring":
-		w := sim.NewWorld(k+1, faults, site.DefaultOptions())
-		ring, err := mutator.BuildRing(w, k)
+		c := newCluster(k+1, seed, drop)
+		ring, err := causalgc.BuildRing(c, k)
 		if err != nil {
 			return err
 		}
 		if err := ring.DetachRing(); err != nil {
 			return err
 		}
-		return report(w)
+		return report(c)
 	case "dll":
-		w := sim.NewWorld(k+1, faults, site.DefaultOptions())
-		dll, err := mutator.BuildDLL(w, k)
+		c := newCluster(k+1, seed, drop)
+		dll, err := causalgc.BuildDLL(c, k)
 		if err != nil {
 			return err
 		}
 		if err := dll.Detach(); err != nil {
 			return err
 		}
-		return report(w)
+		return report(c)
 	case "churn":
-		w := sim.NewWorld(sites, faults, site.DefaultOptions())
-		stats, err := mutator.Churn(w, mutator.ChurnConfig{Seed: seed * 7, Ops: ops, StepsBetweenOps: 3})
+		c := newCluster(sites, seed, drop)
+		stats, err := causalgc.Churn(c, causalgc.ChurnConfig{Seed: seed * 7, Ops: ops, StepsBetweenOps: 3})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("workload: %+v\n", stats)
-		return report(w)
+		return report(c)
 	default:
 		return fmt.Errorf("unknown scenario %q", scenario)
 	}
 }
 
-func report(w *sim.World) error {
-	if err := w.Settle(); err != nil {
+func report(c *causalgc.Cluster) error {
+	if err := c.Settle(); err != nil {
 		return err
 	}
-	rep := w.Check()
+	rep := c.Check()
 	fmt.Printf("oracle: %v (safe=%v clean=%v), %d objects remain\n",
-		rep, rep.Safe(), rep.Clean(), w.TotalObjects())
-	fmt.Printf("traffic:\n%s", w.Net().Stats())
+		rep, rep.Safe(), rep.Clean(), c.TotalObjects())
+	fmt.Printf("traffic:\n%s", c.Transport().Stats())
 	if !rep.Safe() {
 		return fmt.Errorf("SAFETY VIOLATION")
 	}

@@ -1,0 +1,36 @@
+package causalgc
+
+import (
+	"causalgc/internal/heap"
+	"causalgc/internal/site"
+)
+
+// Sentinel errors returned (wrapped with site/object context) by Node
+// operations. Match with errors.Is.
+var (
+	// ErrNoSuchObject: the operation names an object this node does not
+	// have — never created here, or already reclaimed.
+	ErrNoSuchObject = heap.ErrNoSuchObject
+	// ErrNoSuchCluster: the operation names a cluster unknown to this
+	// node.
+	ErrNoSuchCluster = heap.ErrNoSuchCluster
+	// ErrDuplicateObject: a minted identity already exists.
+	ErrDuplicateObject = heap.ErrDuplicateObject
+	// ErrForeignCluster: the operation requires a cluster owned by this
+	// node but was given a remote one.
+	ErrForeignCluster = heap.ErrForeignCluster
+	// ErrClusterRemoved: the target cluster was already detected as
+	// garbage and removed.
+	ErrClusterRemoved = heap.ErrClusterRemoved
+	// ErrNilRef: the operation was given an unset reference.
+	ErrNilRef = heap.ErrNilRef
+	// ErrBadSlot: slot index out of range.
+	ErrBadSlot = heap.ErrBadSlot
+	// ErrRootCluster: the operation is illegal on a node's root cluster.
+	ErrRootCluster = heap.ErrRootCluster
+	// ErrNotHolder: SendRef was asked to copy a reference the sending
+	// object does not hold.
+	ErrNotHolder = site.ErrNotHolder
+	// ErrRemoteSelf: NewRemote was pointed at the caller's own site.
+	ErrRemoteSelf = site.ErrRemoteSelf
+)

@@ -1,6 +1,7 @@
 // churn runs a large randomised workload across sites with injected
 // message loss, checks the safety invariant against the global oracle,
 // and demonstrates residual-garbage recovery by refresh rounds (§5).
+// Programs against the public causalgc API only.
 //
 //	go run ./examples/churn
 package main
@@ -9,36 +10,35 @@ import (
 	"fmt"
 	"log"
 
-	"causalgc/internal/mutator"
-	"causalgc/internal/netsim"
-	"causalgc/internal/sim"
-	"causalgc/internal/site"
+	"causalgc"
+	"causalgc/transport"
 )
 
 func main() {
-	w := sim.NewWorld(8, netsim.Faults{Seed: 7, DropProb: 0.2, Reorder: true}, site.DefaultOptions())
-	stats, err := mutator.Churn(w, mutator.ChurnConfig{Seed: 99, Ops: 1000, StepsBetweenOps: 3})
+	det := transport.NewDeterministic(transport.Faults{Seed: 7, DropProb: 0.2, Reorder: true})
+	c := causalgc.NewCluster(8, causalgc.WithTransport(det))
+	stats, err := causalgc.Churn(c, causalgc.ChurnConfig{Seed: 99, Ops: 1000, StepsBetweenOps: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := w.Settle(); err != nil {
+	if err := c.Settle(); err != nil {
 		log.Fatal(err)
 	}
-	rep := w.Check()
+	rep := c.Check()
 	fmt.Printf("workload: %+v\n", stats)
 	fmt.Printf("after lossy run:  %v  (safety holds: %v)\n", rep, rep.Safe())
 
 	// Heal the network and run recovery refresh rounds.
-	w.Net().SetDropProb(0)
+	det.SetDropProb(0)
 	for i := 0; i < 4; i++ {
-		if err := w.RefreshAll(); err != nil {
+		if err := c.RefreshAll(); err != nil {
 			log.Fatal(err)
 		}
-		if err := w.Settle(); err != nil {
+		if err := c.Settle(); err != nil {
 			log.Fatal(err)
 		}
 	}
-	rep = w.Check()
+	rep = c.Check()
 	fmt.Printf("after recovery:   %v  (safety holds: %v)\n", rep, rep.Safe())
-	fmt.Printf("\ntraffic:\n%s", w.Net().Stats())
+	fmt.Printf("\ntraffic:\n%s", det.Stats())
 }

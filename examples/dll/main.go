@@ -1,7 +1,10 @@
-// dll reproduces the paper's §4 comparison: messages to collect a
-// detached doubly-linked list of k elements, for the causal-dependency
-// algorithm (paper's removal guard and the sound guard) versus Schelvis's
-// eager timestamp packets.
+// dll reproduces the causal side of the paper's §4 comparison: messages
+// to collect a detached doubly-linked list of k elements under the
+// paper's literal removal guard (which reproduces the O(k) claim) and
+// under the sound guard (which pays O(k²) for all-pairs knowledge inside
+// the subcycles). Programs against the public causalgc API only; the
+// three-way comparison including Schelvis's eager timestamp packets is
+// produced by `causalgc-bench -exp E6` (package causalgc/eval).
 //
 //	go run ./examples/dll
 package main
@@ -10,79 +13,39 @@ import (
 	"fmt"
 	"log"
 
-	"causalgc/internal/baseline/schelvis"
-	"causalgc/internal/ids"
-	"causalgc/internal/mutator"
-	"causalgc/internal/netsim"
-	"causalgc/internal/sim"
-	"causalgc/internal/site"
+	"causalgc"
+	"causalgc/transport"
 )
 
 func main() {
 	fmt.Println("§4: messages to collect a detached k-element doubly-linked list")
-	fmt.Printf("%6s %22s %14s %10s\n", "k", "causal(paper-guard)", "causal(sound)", "schelvis")
+	fmt.Printf("%6s %22s %14s\n", "k", "causal(paper-guard)", "causal(sound)")
 	for _, k := range []int{4, 8, 16, 32, 64} {
-		fmt.Printf("%6d %22d %14d %10d\n", k, causal(k, true), causal(k, false), schelvisCost(k))
+		fmt.Printf("%6d %22d %14d\n", k, causal(k, true), causal(k, false))
 	}
 	fmt.Println("\npaper-guard reproduces the O(k) claim; the sound guard pays O(k²)")
-	fmt.Println("for all-pairs knowledge inside the subcycles; Schelvis is O(k²)")
-	fmt.Println("with a larger growth rate (see EXPERIMENTS.md, E6).")
+	fmt.Println("for all-pairs knowledge inside the subcycles. Schelvis is O(k²)")
+	fmt.Println("with a larger growth rate: run `causalgc-bench -exp E6` for the")
+	fmt.Println("three-way table (see EXPERIMENTS.md, E6).")
 }
 
 func causal(k int, paperGuard bool) int {
-	opts := site.DefaultOptions()
-	opts.Engine.UnsafeSkipConfirmation = paperGuard
-	w := sim.NewWorld(k+1, netsim.Faults{Seed: 1}, opts)
-	dll, err := mutator.BuildDLL(w, k)
+	c := causalgc.NewCluster(k+1,
+		causalgc.WithTransport(transport.NewDeterministic(transport.Faults{Seed: 1})),
+		causalgc.WithEngineOptions(causalgc.EngineOptions{UnsafeSkipConfirmation: paperGuard}))
+	dll, err := causalgc.BuildDLL(c, k)
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := w.Net().Stats().TotalSent()
+	base := c.Transport().Stats().TotalSent()
 	if err := dll.Detach(); err != nil {
 		log.Fatal(err)
 	}
-	if err := w.Settle(); err != nil {
+	if err := c.Settle(); err != nil {
 		log.Fatal(err)
 	}
-	if rep := w.Check(); !rep.Clean() {
+	if rep := c.Check(); !rep.Clean() {
 		log.Fatalf("k=%d not clean: %v", k, rep)
 	}
-	return w.Net().Stats().TotalSent() - base
-}
-
-func schelvisCost(k int) int {
-	net := netsim.NewSim(netsim.Faults{Seed: 1})
-	dets := make([]*schelvis.Detector, k+1)
-	for j := 0; j <= k; j++ {
-		dets[j] = schelvis.New(ids.SiteID(j+1), net, k+2, nil)
-	}
-	root := ids.ClusterID{Site: 1, Seq: 1, Root: true}
-	dets[0].AddVertex(root)
-	elems := make([]ids.ClusterID, k)
-	for j := 0; j < k; j++ {
-		elems[j] = ids.ClusterID{Site: ids.SiteID(j + 2), Seq: 1}
-		dets[j+1].AddVertex(elems[j])
-		dets[0].CreateEdge(root, elems[j])
-	}
-	for j := 0; j+1 < k; j++ {
-		dets[j+1].CreateEdge(elems[j], elems[j+1])
-		dets[j+2].CreateEdge(elems[j+1], elems[j])
-	}
-	run(net)
-	for _, d := range dets {
-		d.Kick()
-	}
-	run(net)
-	base := net.Stats().TotalSent()
-	for _, e := range elems {
-		dets[0].DestroyEdge(root, e)
-	}
-	run(net)
-	return net.Stats().TotalSent() - base
-}
-
-func run(net *netsim.Sim) {
-	if _, err := net.Run(0); err != nil {
-		log.Fatal(err)
-	}
+	return c.Transport().Stats().TotalSent() - base
 }

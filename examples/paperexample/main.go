@@ -1,4 +1,5 @@
-// paperexample reproduces the paper's worked example end to end:
+// paperexample reproduces the paper's worked example end to end, on the
+// public causalgc API:
 //
 //   - Fig 3: the evolution of the global root graph (root 1 creates 2;
 //     2 creates 3 and 4; third-party transfers build edges 4→3, 3→4, 4→2;
@@ -21,92 +22,89 @@ import (
 	"fmt"
 	"log"
 
-	"causalgc/internal/heap"
-	"causalgc/internal/ids"
-	"causalgc/internal/netsim"
-	"causalgc/internal/sim"
-	"causalgc/internal/site"
-	"causalgc/internal/vclock"
+	"causalgc"
+	"causalgc/transport"
 )
 
 func main() {
 	// Print each global root's final log as GGD removes it: the bottom
-	// rows of Fig 8.
-	var order []ids.ClusterID
-	names := map[ids.ClusterID]string{}
-	opts := site.DefaultOptions()
-	opts.Engine.RemoveObserver = func(id ids.ClusterID, l *vclock.Log, clock uint64) {
-		fmt.Printf("  GGD removes %s (clock %d); final log:\n", names[id], clock)
-		for _, line := range splitLines(l.Render(order)) {
-			fmt.Printf("    %s\n", line)
-		}
+	// rows of Fig 8. RemoveObserver hands out the log just before
+	// removal.
+	var order []causalgc.ClusterID
+	names := map[causalgc.ClusterID]string{}
+	engine := causalgc.EngineOptions{
+		RemoveObserver: func(id causalgc.ClusterID, l *causalgc.Log, clock uint64) {
+			fmt.Printf("  GGD removes %s (clock %d); final log:\n", names[id], clock)
+			for _, line := range splitLines(l.Render(order)) {
+				fmt.Printf("    %s\n", line)
+			}
+		},
 	}
-	w := sim.NewWorld(4, netsim.Faults{Seed: 1}, opts)
-	s1, s2 := w.Site(1), w.Site(2)
+	c := causalgc.NewCluster(4,
+		causalgc.WithTransport(transport.NewDeterministic(transport.Faults{Seed: 1})),
+		causalgc.WithEngineOptions(engine))
+	n1, n2 := c.Node(1), c.Node(2)
 
 	fmt.Println("== Fig 3: building the global root graph ==")
-	obj2 := step(w, "e2,1: root 1 creates 2", func() (heap.Ref, error) {
-		return s1.NewRemote(s1.Root().Obj, 2)
+	obj2 := step(c, "e2,1: root 1 creates 2", func() (causalgc.Ref, error) {
+		return n1.NewRemote(n1.Root().Obj, 2)
 	})
-	obj3 := step(w, "e3,1: 2 creates 3", func() (heap.Ref, error) {
-		return s2.NewRemote(obj2.Obj, 3)
+	obj3 := step(c, "e3,1: 2 creates 3", func() (causalgc.Ref, error) {
+		return n2.NewRemote(obj2.Obj, 3)
 	})
-	obj4 := step(w, "e4,1: 2 creates 4", func() (heap.Ref, error) {
-		return s2.NewRemote(obj2.Obj, 4)
+	obj4 := step(c, "e4,1: 2 creates 4", func() (causalgc.Ref, error) {
+		return n2.NewRemote(obj2.Obj, 4)
 	})
-	check(s2.SendRef(obj2.Obj, obj4, obj3))
+	check(n2.SendRef(obj2.Obj, obj4, obj3))
 	fmt.Println("e3,2: 2 sends 4 a reference to 3   (edge 4→3)")
-	check(s2.SendRef(obj2.Obj, obj3, obj4))
+	check(n2.SendRef(obj2.Obj, obj3, obj4))
 	fmt.Println("e4,2: 2 sends 3 a reference to 4   (edge 3→4)")
-	check(s2.SendRef(obj2.Obj, obj4, obj2))
+	check(n2.SendRef(obj2.Obj, obj4, obj2))
 	fmt.Println("e2,2: 2 sends its own reference to 4 (edge 4→2)")
-	check(w.Run())
+	check(c.Run())
 
-	order = []ids.ClusterID{s1.Root().Cluster, obj2.Cluster, obj3.Cluster, obj4.Cluster}
-	names[s1.Root().Cluster] = "1(root)"
+	order = []causalgc.ClusterID{n1.Root().Cluster, obj2.Cluster, obj3.Cluster, obj4.Cluster}
+	names[n1.Root().Cluster] = "1(root)"
 	names[obj2.Cluster] = "2"
 	names[obj3.Cluster] = "3"
 	names[obj4.Cluster] = "4"
 
 	fmt.Println("\n== Fig 5: logs after the mutator phase (columns 1,2,3,4) ==")
-	dump := func() {
-		for _, ref := range []heap.Ref{obj2, obj3, obj4} {
-			l := w.Site(ref.Obj.Site).LogSnapshot(ref.Cluster)
-			if l == nil {
-				fmt.Printf("  %s: (removed)\n", names[ref.Cluster])
-				continue
-			}
-			fmt.Printf("  log of %s:\n", names[ref.Cluster])
-			for _, line := range splitLines(l.Render(order)) {
-				fmt.Printf("    %s\n", line)
-			}
+	for _, ref := range []causalgc.Ref{obj2, obj3, obj4} {
+		l := c.Node(ref.Obj.Site).LogSnapshot(ref.Cluster)
+		if l == nil {
+			fmt.Printf("  %s: (removed)\n", names[ref.Cluster])
+			continue
+		}
+		fmt.Printf("  log of %s:\n", names[ref.Cluster])
+		for _, line := range splitLines(l.Render(order)) {
+			fmt.Printf("    %s\n", line)
 		}
 	}
-	dump()
 
 	fmt.Println("\n== Fig 7: lazy log-keeping traffic so far ==")
-	st := w.Net().Stats()
+	st := c.Transport().Stats()
 	fmt.Printf("  mutator messages: create=%d ref=%d\n", st.Sent("mut.create"), st.Sent("mut.ref"))
 	fmt.Printf("  GGD rounds:       destroy=%d propagate=%d (deferred asserts: %d)\n",
 		st.Sent("ggd.destroy"), st.Sent("ggd.prop"), st.Sent("ggd.assert"))
 
 	fmt.Println("\n== Fig 8: e2,3 — the root destroys edge 1→2; GGD runs ==")
 	// Observe each removal with its final log (the bottom rows of Fig 8).
-	check(s1.DropRefs(s1.Root().Obj, obj2))
-	check(w.Settle())
+	check(n1.DropRefs(n1.Root().Obj, obj2))
+	check(c.Settle())
 
-	rep := w.Check()
+	rep := c.Check()
 	fmt.Printf("\nafter GGD: oracle %v\n", rep)
-	fmt.Printf("cluster 2 removed: %v\n", w.Site(2).ClusterRemoved(obj2.Cluster))
-	fmt.Printf("cluster 3 removed: %v\n", w.Site(3).ClusterRemoved(obj3.Cluster))
-	fmt.Printf("cluster 4 removed: %v\n", w.Site(4).ClusterRemoved(obj4.Cluster))
+	fmt.Printf("cluster 2 removed: %v\n", c.Node(2).ClusterRemoved(obj2.Cluster))
+	fmt.Printf("cluster 3 removed: %v\n", c.Node(3).ClusterRemoved(obj3.Cluster))
+	fmt.Printf("cluster 4 removed: %v\n", c.Node(4).ClusterRemoved(obj4.Cluster))
 	fmt.Printf("\ntotal traffic:\n%s", st)
 }
 
-func step(w *sim.World, label string, f func() (heap.Ref, error)) heap.Ref {
+func step(c *causalgc.Cluster, label string, f func() (causalgc.Ref, error)) causalgc.Ref {
 	ref, err := f()
 	check(err)
-	check(w.Run())
+	check(c.Run())
 	fmt.Printf("%s → %v\n", label, ref)
 	return ref
 }

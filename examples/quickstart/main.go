@@ -1,6 +1,6 @@
 // Quickstart: three sites share objects, a distributed cycle becomes
 // garbage, and Global Garbage Detection collects it — no stop-the-world,
-// no global consensus.
+// no global consensus. Programs against the public causalgc API only.
 //
 //	go run ./examples/quickstart
 package main
@@ -9,40 +9,41 @@ import (
 	"fmt"
 	"log"
 
-	"causalgc/internal/netsim"
-	"causalgc/internal/sim"
-	"causalgc/internal/site"
+	"causalgc"
+	"causalgc/transport"
 )
 
 func main() {
-	// A world of three sites over the deterministic in-memory network.
-	w := sim.NewWorld(3, netsim.Faults{Seed: 42}, site.DefaultOptions())
-	s1 := w.Site(1)
+	// A cluster of three nodes over the deterministic in-memory
+	// transport: the run is reproducible for a given seed.
+	c := causalgc.NewCluster(3, causalgc.WithTransport(
+		transport.NewDeterministic(transport.Faults{Seed: 42})))
+	n1 := c.Node(1)
 
 	// Site 1's root creates an object on site 2, which creates one on
 	// site 3, which is handed a reference back to the site-2 object:
 	// a cycle spanning two sites, reachable from site 1.
-	a, err := s1.NewRemote(s1.Root().Obj, 2)
+	a, err := n1.NewRemote(n1.Root().Obj, 2)
 	check(err)
-	check(w.Run())
-	b, err := w.Site(2).NewRemote(a.Obj, 3)
+	check(c.Run())
+	b, err := c.Node(2).NewRemote(a.Obj, 3)
 	check(err)
-	check(w.Run())
-	check(w.Site(2).SendRef(a.Obj, b, a)) // b → a: the cycle closes
-	check(w.Run())
+	check(c.Run())
+	check(c.Node(2).SendRef(a.Obj, b, a)) // b → a: the cycle closes
+	check(c.Run())
 
-	fmt.Printf("before drop: %d objects, oracle: %v\n", w.TotalObjects(), w.Check())
+	fmt.Printf("before drop: %d objects, oracle: %v\n", c.TotalObjects(), c.Check())
 
 	// Drop the only root reference: {a, b} become a distributed garbage
 	// cycle that no per-site collector can see.
-	check(s1.DropRefs(s1.Root().Obj, a))
-	check(w.Settle())
+	check(n1.DropRefs(n1.Root().Obj, a))
+	check(c.Settle())
 
-	rep := w.Check()
-	fmt.Printf("after drop:  %d objects, oracle: %v\n", w.TotalObjects(), rep)
+	rep := c.Check()
+	fmt.Printf("after drop:  %d objects, oracle: %v\n", c.TotalObjects(), rep)
 	fmt.Printf("cycle collected: %v (a removed=%v, b removed=%v)\n",
-		rep.Clean(), w.Site(2).ClusterRemoved(a.Cluster), w.Site(3).ClusterRemoved(b.Cluster))
-	fmt.Printf("\nGGD traffic:\n%s", w.Net().Stats())
+		rep.Clean(), c.Node(2).ClusterRemoved(a.Cluster), c.Node(3).ClusterRemoved(b.Cluster))
+	fmt.Printf("\nGGD traffic:\n%s", c.Transport().Stats())
 }
 
 func check(err error) {

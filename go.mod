@@ -1,0 +1,3 @@
+module causalgc
+
+go 1.24

@@ -1,0 +1,31 @@
+package heap
+
+import "errors"
+
+// Sentinel errors returned (wrapped, with site/object context) by the heap
+// and by the site runtime on top of it. Callers match them with errors.Is;
+// the public causalgc package re-exports them.
+var (
+	// ErrNoSuchObject is returned when an operation names an object that
+	// does not exist on this site (never created, or already reclaimed).
+	ErrNoSuchObject = errors.New("no such object")
+	// ErrNoSuchCluster is returned when an operation names a cluster
+	// unknown to this site.
+	ErrNoSuchCluster = errors.New("no such cluster")
+	// ErrDuplicateObject is returned when a minted identity already exists
+	// (a duplicated creation message).
+	ErrDuplicateObject = errors.New("object already exists")
+	// ErrForeignCluster is returned when an operation requires a cluster
+	// owned by this site but was given a remote one.
+	ErrForeignCluster = errors.New("cluster owned by another site")
+	// ErrClusterRemoved is returned when an operation targets a cluster
+	// already removed by global garbage detection.
+	ErrClusterRemoved = errors.New("cluster removed by GGD")
+	// ErrNilRef is returned when an operation is given an unset reference.
+	ErrNilRef = errors.New("nil reference")
+	// ErrBadSlot is returned for an out-of-range slot index.
+	ErrBadSlot = errors.New("slot index out of range")
+	// ErrRootCluster is returned for operations that are illegal on the
+	// site's root cluster (it is alive by fiat and never removed).
+	ErrRootCluster = errors.New("operation on root cluster")
+)

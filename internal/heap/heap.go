@@ -218,10 +218,10 @@ func (h *Heap) NewObject(cl ids.ClusterID) *Object {
 // round-trip.
 func (h *Heap) NewObjectAt(id ids.ObjectID, cl ids.ClusterID) (*Object, error) {
 	if id.Site != h.site || cl.Site != h.site {
-		return nil, fmt.Errorf("heap %v: foreign identity %v/%v", h.site, id, cl)
+		return nil, fmt.Errorf("heap %v: identity %v/%v: %w", h.site, id, cl, ErrForeignCluster)
 	}
 	if _, ok := h.objects[id]; ok {
-		return nil, fmt.Errorf("heap %v: object %v already exists", h.site, id)
+		return nil, fmt.Errorf("heap %v: %v: %w", h.site, id, ErrDuplicateObject)
 	}
 	c, ok := h.clusters[cl]
 	if !ok {
@@ -273,11 +273,11 @@ func (h *Heap) ClusterRemoved(cl ids.ClusterID) bool {
 func (h *Heap) MarkEntry(obj ids.ObjectID) error {
 	o, ok := h.objects[obj]
 	if !ok {
-		return fmt.Errorf("heap %v: MarkEntry of unknown object %v", h.site, obj)
+		return fmt.Errorf("heap %v: MarkEntry %v: %w", h.site, obj, ErrNoSuchObject)
 	}
 	c := h.clusters[o.cluster]
 	if c.removed {
-		return fmt.Errorf("heap %v: MarkEntry on removed cluster %v", h.site, o.cluster)
+		return fmt.Errorf("heap %v: MarkEntry on %v: %w", h.site, o.cluster, ErrClusterRemoved)
 	}
 	c.entries[obj] = struct{}{}
 	return nil
@@ -309,10 +309,10 @@ func (h *Heap) AddRef(holder ids.ObjectID, ref Ref) (int, error) {
 func (h *Heap) AddRefIntro(holder ids.ObjectID, ref Ref, intro ids.ClusterID, introSeq uint64) (int, error) {
 	o, ok := h.objects[holder]
 	if !ok {
-		return 0, fmt.Errorf("heap %v: AddRef on unknown holder %v", h.site, holder)
+		return 0, fmt.Errorf("heap %v: AddRef holder %v: %w", h.site, holder, ErrNoSuchObject)
 	}
 	if !ref.Valid() {
-		return 0, fmt.Errorf("heap %v: AddRef of nil ref", h.site)
+		return 0, fmt.Errorf("heap %v: AddRef: %w", h.site, ErrNilRef)
 	}
 	o.slots = append(o.slots, ref)
 	h.refAdded(o, ref, intro, introSeq)
@@ -324,10 +324,10 @@ func (h *Heap) AddRefIntro(holder ids.ObjectID, ref Ref, intro ids.ClusterID, in
 func (h *Heap) SetSlot(holder ids.ObjectID, i int, ref Ref) error {
 	o, ok := h.objects[holder]
 	if !ok {
-		return fmt.Errorf("heap %v: SetSlot on unknown holder %v", h.site, holder)
+		return fmt.Errorf("heap %v: SetSlot holder %v: %w", h.site, holder, ErrNoSuchObject)
 	}
 	if i < 0 {
-		return fmt.Errorf("heap %v: SetSlot index %d", h.site, i)
+		return fmt.Errorf("heap %v: SetSlot index %d: %w", h.site, i, ErrBadSlot)
 	}
 	for len(o.slots) <= i {
 		o.slots = append(o.slots, NilRef)
@@ -353,7 +353,7 @@ func (h *Heap) ClearSlot(holder ids.ObjectID, i int) error {
 func (h *Heap) DropRefs(holder, target ids.ObjectID) error {
 	o, ok := h.objects[holder]
 	if !ok {
-		return fmt.Errorf("heap %v: DropRefs on unknown holder %v", h.site, holder)
+		return fmt.Errorf("heap %v: DropRefs holder %v: %w", h.site, holder, ErrNoSuchObject)
 	}
 	for i, r := range o.slots {
 		if r.Obj == target {
@@ -436,10 +436,10 @@ func (h *Heap) OutEdges(from ids.ClusterID) []ids.ClusterID {
 func (h *Heap) RemoveCluster(cl ids.ClusterID) error {
 	c, ok := h.clusters[cl]
 	if !ok {
-		return fmt.Errorf("heap %v: RemoveCluster of unknown cluster %v", h.site, cl)
+		return fmt.Errorf("heap %v: RemoveCluster %v: %w", h.site, cl, ErrNoSuchCluster)
 	}
 	if cl == h.rootClu {
-		return fmt.Errorf("heap %v: cannot remove the root cluster", h.site)
+		return fmt.Errorf("heap %v: RemoveCluster: %w", h.site, ErrRootCluster)
 	}
 	if c.removed {
 		return nil

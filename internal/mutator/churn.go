@@ -5,7 +5,6 @@ import (
 
 	"causalgc/internal/heap"
 	"causalgc/internal/ids"
-	"causalgc/internal/sim"
 )
 
 // ChurnConfig tunes the randomised workload driver.
@@ -37,7 +36,7 @@ type ChurnStats struct {
 // The driver mirrors which references each object holds so it only issues
 // legal operations; transfers still in flight can invalidate the mirror,
 // in which case the operation is skipped (counted in Skipped).
-func Churn(w *sim.World, cfg ChurnConfig) (ChurnStats, error) {
+func Churn(w World, cfg ChurnConfig) (ChurnStats, error) {
 	if cfg.PCreate == 0 && cfg.PShare == 0 && cfg.PDrop == 0 {
 		cfg.PCreate, cfg.PShare, cfg.PDrop = 4, 4, 3
 	}
@@ -161,7 +160,7 @@ func Churn(w *sim.World, cfg ChurnConfig) (ChurnStats, error) {
 		}
 
 		for s := 0; s < cfg.StepsBetweenOps; s++ {
-			if !w.Net().Step() {
+			if !w.Step() {
 				break
 			}
 		}

@@ -12,20 +12,37 @@ import (
 
 	"causalgc/internal/heap"
 	"causalgc/internal/ids"
-	"causalgc/internal/sim"
+	"causalgc/internal/site"
 )
+
+// World is the slice of a running system the workload builders need: site
+// lookup and message delivery. internal/sim.World implements it for the
+// deterministic harness; the public causalgc.Cluster implements it for
+// any transport.
+type World interface {
+	// Site returns the runtime of the given site.
+	Site(ids.SiteID) *site.Runtime
+	// Sites returns every runtime, in site order.
+	Sites() []*site.Runtime
+	// Run delivers messages until the substrate is quiet.
+	Run() error
+	// Step delivers at most one message and reports whether it did.
+	// Substrates without single-step delivery (concurrent networks)
+	// return false.
+	Step() bool
+}
 
 // Scenario is the paper's Fig 3 object graph: root 1 on site 1, objects
 // 2, 3, 4 on their own sites, edges 2→3, 2→4, 4→3, 3→4, 4→2.
 type Scenario struct {
-	World *sim.World
+	World World
 	// Obj2, Obj3, Obj4 are the paper's numbered global roots.
 	Obj2, Obj3, Obj4 heap.Ref
 }
 
 // BuildPaperScenario constructs Fig 3 on a fresh 4-site world. Each event
 // of Fig 4 happens in order; the returned scenario is quiescent.
-func BuildPaperScenario(w *sim.World) (*Scenario, error) {
+func BuildPaperScenario(w World) (*Scenario, error) {
 	s1, s2 := w.Site(1), w.Site(2)
 
 	obj2, err := s1.NewRemote(s1.Root().Obj, 2) // e1,1 / e2,1
@@ -77,7 +94,7 @@ func (s *Scenario) DropRootEdge() error {
 // the §4 comparison with Schelvis's algorithm ("double linked lists, or
 // any cyclic structure containing subcycles").
 type DLL struct {
-	World *sim.World
+	World World
 	// Elems are the list elements in order; element i lives on site i+2.
 	Elems []heap.Ref
 }
@@ -87,7 +104,7 @@ type DLL struct {
 // neighbours with forward and backward references (third-party
 // transfers), and keeps a direct reference to every element so the list
 // is fully reachable until Detach.
-func BuildDLL(w *sim.World, k int) (*DLL, error) {
+func BuildDLL(w World, k int) (*DLL, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("mutator: DLL needs k >= 1, got %d", k)
 	}
@@ -135,7 +152,7 @@ func (d *DLL) Detach() error {
 // BuildRing builds a k-element unidirectional ring (a pure distributed
 // cycle), each element on its own site, reachable from site 1's root via
 // a single edge to element 0.
-func BuildRing(w *sim.World, k int) (*DLL, error) {
+func BuildRing(w World, k int) (*DLL, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("mutator: ring needs k >= 1, got %d", k)
 	}

@@ -94,7 +94,7 @@ func (ep *asyncEndpoint) pump(stats *Stats) {
 		h := ep.h
 		ep.mu.Unlock()
 
-		stats.recordDelivered(m.p)
+		stats.RecordDelivered(m.p)
 		h(m.from, m.p)
 
 		ep.mu.Lock()
@@ -119,12 +119,12 @@ func (n *AsyncNetwork) Stats() *Stats { return n.stats }
 
 // Send queues p for delivery, applying the fault plan.
 func (n *AsyncNetwork) Send(from, to ids.SiteID, p Payload) {
-	n.stats.recordSent(p)
+	n.stats.RecordSent(p)
 
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		n.stats.recordDropped(p)
+		n.stats.RecordDropped(p)
 		return
 	}
 	ep := n.eps[to]
@@ -145,17 +145,17 @@ func (n *AsyncNetwork) Send(from, to ids.SiteID, p Payload) {
 	n.mu.Unlock()
 
 	if drop || ep == nil {
-		n.stats.recordDropped(p)
+		n.stats.RecordDropped(p)
 		return
 	}
 	if !ep.enqueue(asyncMsg{from: from, p: p}) {
-		n.stats.recordDropped(p)
+		n.stats.RecordDropped(p)
 		return
 	}
 	if dup {
-		n.stats.recordDuplicated(p)
+		n.stats.RecordDuplicated(p)
 		if !ep.enqueue(asyncMsg{from: from, p: p}) {
-			n.stats.recordDropped(p)
+			n.stats.RecordDropped(p)
 		}
 	}
 }

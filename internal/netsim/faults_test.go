@@ -1,0 +1,62 @@
+package netsim_test
+
+import (
+	"testing"
+
+	"causalgc/internal/ids"
+	"causalgc/internal/netsim"
+	"causalgc/internal/wire"
+)
+
+// TestFaultEligibleExemptsApplicationPayloads checks the classification
+// directly: mutator RPC (Create, RefTransfer) is exempt from fault
+// injection, GGD control traffic (Destroy, Propagate, Assert) is not.
+func TestFaultEligibleExemptsApplicationPayloads(t *testing.T) {
+	app := []netsim.Payload{wire.Create{}, wire.RefTransfer{}}
+	for _, p := range app {
+		if netsim.FaultEligible(p) {
+			t.Errorf("%T: application payload must be exempt from faults", p)
+		}
+	}
+	control := []netsim.Payload{wire.Destroy{}, wire.Propagate{}, wire.Assert{}}
+	for _, p := range control {
+		if !netsim.FaultEligible(p) {
+			t.Errorf("%T: control payload must be fault-eligible", p)
+		}
+	}
+}
+
+// TestSimDropsOnlyControlPayloads sends application and control payloads
+// through a simulator that drops everything it may: the application
+// payloads must all arrive, the control payloads must all be lost.
+func TestSimDropsOnlyControlPayloads(t *testing.T) {
+	sim := netsim.NewSim(netsim.Faults{Seed: 3, DropProb: 1})
+	var apps, controls int
+	sim.Register(2, func(_ ids.SiteID, p netsim.Payload) {
+		if netsim.FaultEligible(p) {
+			controls++
+		} else {
+			apps++
+		}
+	})
+	const n = 20
+	for i := 0; i < n; i++ {
+		sim.Send(1, 2, wire.Create{})
+		sim.Send(1, 2, wire.Propagate{})
+	}
+	if _, err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if apps != n {
+		t.Errorf("delivered %d of %d application payloads under DropProb=1", apps, n)
+	}
+	if controls != 0 {
+		t.Errorf("delivered %d control payloads under DropProb=1, want 0", controls)
+	}
+	if got := sim.Stats().Delivered(wire.KindCreate); got != n {
+		t.Errorf("stats: %d creates delivered, want %d", got, n)
+	}
+	if _, _, dropped, _, _ := sim.Stats().Kind(wire.KindPropagate); dropped != n {
+		t.Errorf("stats: %d propagates dropped, want %d", dropped, n)
+	}
+}

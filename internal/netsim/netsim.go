@@ -51,8 +51,12 @@ func FaultEligible(p Payload) bool {
 // AsyncNetwork. A handler may send further messages.
 type Handler func(from ids.SiteID, p Payload)
 
-// Network abstracts over Sim, AsyncNetwork and transport.Network so the
-// site runtime is agnostic to the substrate.
+// Network abstracts the message substrate so the site runtime is agnostic
+// to it. Three implementations exist: the deterministic single-threaded
+// Sim and the concurrent in-memory AsyncNetwork in this package, and the
+// real-socket tcp.Network in the public transport/tcp package. The public
+// transport package re-exports this interface as transport.Transport;
+// user-provided substrates implement it there.
 type Network interface {
 	// Register installs the handler for a site. It must be called before
 	// any message is sent to that site.
@@ -105,7 +109,10 @@ func (s *Stats) counters(kind string) *kindCounters {
 	return k
 }
 
-func (s *Stats) recordSent(p Payload) {
+// RecordSent counts one send of p (kind and approximate bytes).
+// Exported so out-of-package substrates (transport/tcp) can record into
+// the shared statistics.
+func (s *Stats) RecordSent(p Payload) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	k := s.counters(p.Kind())
@@ -113,19 +120,23 @@ func (s *Stats) recordSent(p Payload) {
 	k.bytes += p.ApproxSize()
 }
 
-func (s *Stats) recordDelivered(p Payload) {
+// RecordDelivered counts one delivery of p.
+func (s *Stats) RecordDelivered(p Payload) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.counters(p.Kind()).delivered++
 }
 
-func (s *Stats) recordDropped(p Payload) {
+// RecordDropped counts one loss of p (fault injection, partition,
+// unreachable or closed destination).
+func (s *Stats) RecordDropped(p Payload) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.counters(p.Kind()).dropped++
 }
 
-func (s *Stats) recordDuplicated(p Payload) {
+// RecordDuplicated counts one duplicated delivery of p.
+func (s *Stats) RecordDuplicated(p Payload) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.counters(p.Kind()).duplicated++

@@ -205,11 +205,11 @@ func TestSimUnregisteredDestination(t *testing.T) {
 
 func TestStatsAccounting(t *testing.T) {
 	st := NewStats()
-	st.recordSent(ping{})
-	st.recordSent(ping{})
-	st.recordDelivered(ping{})
-	st.recordDropped(ping{})
-	st.recordDuplicated(ping{})
+	st.RecordSent(ping{})
+	st.RecordSent(ping{})
+	st.RecordDelivered(ping{})
+	st.RecordDropped(ping{})
+	st.RecordDuplicated(ping{})
 	sent, del, drop, dup, bytes := st.Kind("ping")
 	if sent != 2 || del != 1 || drop != 1 || dup != 1 || bytes != 16 {
 		t.Errorf("got %d/%d/%d/%d/%d", sent, del, drop, dup, bytes)

@@ -61,18 +61,18 @@ func (s *Sim) Stats() *Stats { return s.stats }
 // Send queues p from -> to, applying the fault plan: partition and drop
 // lose the message, duplication enqueues it twice.
 func (s *Sim) Send(from, to ids.SiteID, p Payload) {
-	s.stats.recordSent(p)
+	s.stats.RecordSent(p)
 	if FaultEligible(p) {
 		if s.faults.Partitioned != nil && s.faults.Partitioned(from, to) {
-			s.stats.recordDropped(p)
+			s.stats.RecordDropped(p)
 			return
 		}
 		if s.faults.DropProb > 0 && s.rng.Float64() < s.faults.DropProb {
-			s.stats.recordDropped(p)
+			s.stats.RecordDropped(p)
 			return
 		}
 		if s.faults.DupProb > 0 && s.rng.Float64() < s.faults.DupProb {
-			s.stats.recordDuplicated(p)
+			s.stats.RecordDuplicated(p)
 			s.enqueue(from, to, p)
 		}
 	}
@@ -140,10 +140,10 @@ func (s *Sim) Step() bool {
 		// Unregistered destination: the message is lost (e.g. a straggler
 		// to a site that was torn down). This models the paper's
 		// tolerance of loss.
-		s.stats.recordDropped(p)
+		s.stats.RecordDropped(p)
 		return true
 	}
-	s.stats.recordDelivered(p)
+	s.stats.RecordDelivered(p)
 	h(ch.from, p)
 	return true
 }

@@ -17,6 +17,11 @@ import (
 // so hitting the budget indicates a bug (non-monotone propagation).
 const DefaultStepBudget = 2_000_000
 
+// DefaultSettleRounds bounds Settle: detection latency is finite once
+// the substrate is reliable, so needing more rounds indicates residual
+// garbage only a refresh can recover (message loss).
+const DefaultSettleRounds = 16
+
 // World is a complete simulated system.
 type World struct {
 	net   *netsim.Sim
@@ -42,6 +47,10 @@ func (w *World) Sites() []*site.Runtime { return w.sites }
 
 // Net exposes the simulator (fault control, stats).
 func (w *World) Net() *netsim.Sim { return w.net }
+
+// Step delivers one queued message, if any, and reports whether it did:
+// the fine-grained interleaving knob used by randomised workloads.
+func (w *World) Step() bool { return w.net.Step() }
 
 // Run delivers queued messages until the network is quiet.
 func (w *World) Run() error {
@@ -78,7 +87,7 @@ func (w *World) Settle() error {
 	if err := w.Run(); err != nil {
 		return err
 	}
-	for round := 0; round < 16; round++ {
+	for round := 0; round < DefaultSettleRounds; round++ {
 		before := w.totalObjects()
 		if err := w.CollectAll(); err != nil {
 			return err

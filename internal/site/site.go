@@ -30,6 +30,22 @@ type Options struct {
 	AutoCollect bool
 	// Engine tunes the GGD engine (the unsafe ablation switch).
 	Engine core.Options
+	// Observer, when non-nil, receives lifecycle notifications. Callbacks
+	// run with the runtime's mutex held and must not call back into the
+	// Runtime.
+	Observer Observer
+}
+
+// Observer receives site lifecycle events: the public metrics hook of the
+// causalgc API. Implementations must be fast and must not re-enter the
+// Runtime (callbacks run under its mutex).
+type Observer interface {
+	// ClusterRemoved fires when GGD detects a local cluster as global
+	// garbage and removes it.
+	ClusterRemoved(site ids.SiteID, cluster ids.ClusterID)
+	// Collected fires after every local mark-sweep collection, whether
+	// requested explicitly or triggered by an AutoCollect cascade.
+	Collected(site ids.SiteID, stats heap.CollectStats)
 }
 
 // DefaultOptions returns the standard configuration.
@@ -126,6 +142,18 @@ func (r *Runtime) onRemove(cl ids.ClusterID) {
 	// clusters it registered, which exist in the heap.
 	_ = r.heap.RemoveCluster(cl)
 	r.removals++
+	if r.opts.Observer != nil {
+		r.opts.Observer.ClusterRemoved(r.id, cl)
+	}
+}
+
+// collectLocked runs one local collection and notifies the observer.
+func (r *Runtime) collectLocked() heap.CollectStats {
+	stats := r.heap.Collect()
+	if r.opts.Observer != nil {
+		r.opts.Observer.Collected(r.id, stats)
+	}
+	return stats
 }
 
 // handle is the network delivery entry point.
@@ -187,7 +215,7 @@ func (r *Runtime) settleLocked() {
 	}
 	for r.removals > 0 {
 		r.removals = 0
-		r.heap.Collect()
+		r.collectLocked()
 		r.engine.Drain()
 	}
 }
@@ -201,7 +229,7 @@ func (r *Runtime) NewLocal(holder ids.ObjectID) (heap.Ref, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.heap.Object(holder) == nil {
-		return heap.NilRef, fmt.Errorf("site %v: NewLocal holder %v unknown", r.id, holder)
+		return heap.NilRef, fmt.Errorf("site %v: NewLocal holder %v: %w", r.id, holder, heap.ErrNoSuchObject)
 	}
 	cl := r.heap.NewCluster()
 	r.engine.Register(cl)
@@ -220,10 +248,10 @@ func (r *Runtime) NewLocalIn(holder ids.ObjectID, cl ids.ClusterID) (heap.Ref, e
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if cl.Site != r.id {
-		return heap.NilRef, fmt.Errorf("site %v: NewLocalIn foreign cluster %v", r.id, cl)
+		return heap.NilRef, fmt.Errorf("site %v: NewLocalIn %v: %w", r.id, cl, heap.ErrForeignCluster)
 	}
 	if r.heap.Object(holder) == nil {
-		return heap.NilRef, fmt.Errorf("site %v: NewLocalIn holder %v unknown", r.id, holder)
+		return heap.NilRef, fmt.Errorf("site %v: NewLocalIn holder %v: %w", r.id, holder, heap.ErrNoSuchObject)
 	}
 	r.engine.Register(cl)
 	o := r.heap.NewObject(cl)
@@ -253,10 +281,10 @@ func (r *Runtime) NewRemote(holder ids.ObjectID, target ids.SiteID) (heap.Ref, e
 	defer r.mu.Unlock()
 	ho := r.heap.Object(holder)
 	if ho == nil {
-		return heap.NilRef, fmt.Errorf("site %v: NewRemote holder %v unknown", r.id, holder)
+		return heap.NilRef, fmt.Errorf("site %v: NewRemote holder %v: %w", r.id, holder, heap.ErrNoSuchObject)
 	}
 	if target == r.id {
-		return heap.NilRef, fmt.Errorf("site %v: NewRemote to self; use NewLocal", r.id)
+		return heap.NilRef, fmt.Errorf("site %v: NewRemote: %w", r.id, ErrRemoteSelf)
 	}
 	r.mint++
 	obj := ids.ObjectID{Site: target, Seq: uint64(r.id)<<32 | r.mint}
@@ -292,14 +320,14 @@ func (r *Runtime) SendRef(fromObj ids.ObjectID, to heap.Ref, target heap.Ref) er
 	defer r.mu.Unlock()
 	fo := r.heap.Object(fromObj)
 	if fo == nil {
-		return fmt.Errorf("site %v: SendRef from unknown object %v", r.id, fromObj)
+		return fmt.Errorf("site %v: SendRef from %v: %w", r.id, fromObj, heap.ErrNoSuchObject)
 	}
 	if !r.holds(fo, target) {
-		return fmt.Errorf("site %v: %v does not hold %v", r.id, fromObj, target)
+		return fmt.Errorf("site %v: SendRef: %v of %v: %w", r.id, target, fromObj, ErrNotHolder)
 	}
 	if to.Obj.Site == r.id {
 		if r.heap.Object(to.Obj) == nil {
-			return fmt.Errorf("site %v: SendRef to unknown local object %v", r.id, to.Obj)
+			return fmt.Errorf("site %v: SendRef to %v: %w", r.id, to.Obj, heap.ErrNoSuchObject)
 		}
 		seq := r.engine.SentRef(fo.Cluster(), target.Cluster, to.Cluster)
 		_, err := r.heap.AddRefIntro(to.Obj, target, fo.Cluster(), seq)
@@ -369,7 +397,7 @@ func (r *Runtime) ClearSlot(holder ids.ObjectID, slot int) error {
 func (r *Runtime) Collect() heap.CollectStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	stats := r.heap.Collect()
+	stats := r.collectLocked()
 	r.engine.Drain()
 	r.settleLocked()
 	return stats

@@ -1,0 +1,190 @@
+package causalgc
+
+import (
+	"causalgc/internal/site"
+	"causalgc/transport"
+)
+
+// Option configures a Node (and, when passed to NewCluster, every node
+// of the cluster).
+type Option func(*config)
+
+type config struct {
+	site site.Options
+	tr   transport.Transport
+}
+
+func newConfig(opts []Option) config {
+	c := config{site: site.DefaultOptions()}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithAutoCollect controls whether a node runs a local collection
+// whenever GGD removes one of its clusters, so reclamation cascades
+// without explicit Collect calls. Default: on.
+func WithAutoCollect(on bool) Option {
+	return func(c *config) { c.site.AutoCollect = on }
+}
+
+// WithEngineOptions tunes the node's GGD engine: the unsafe ablation
+// switches and the removal trace observer.
+func WithEngineOptions(e EngineOptions) Option {
+	return func(c *config) { c.site.Engine = e }
+}
+
+// WithTransport attaches the node to an existing transport instead of a
+// private one. The caller keeps ownership: Node.Close will not close it.
+func WithTransport(t transport.Transport) Option {
+	return func(c *config) { c.tr = t }
+}
+
+// WithObserver installs a metrics observer. Callbacks run under the
+// node's internal lock and must not call back into the Node.
+func WithObserver(o Observer) Option {
+	return func(c *config) { c.site.Observer = o }
+}
+
+// Node is one causalgc site: a heap, a local collector and a GGD engine,
+// attached to a transport. The node itself serialises its own state, so
+// methods are safe for concurrent use whenever the underlying transport
+// is: the concurrent in-memory backend (NewNode's default) and the TCP
+// backend both are. The deterministic simulator is single-threaded by
+// design — a Node or Cluster over it (NewCluster's default) must be
+// driven from one goroutine.
+//
+// The mutator API models an application's reference manipulations. Every
+// reference-holding object is identified by its ObjectID; each node has a
+// root object (Root) whose slots are the application's named references —
+// anything unreachable from the union of all roots is garbage and will be
+// detected, distributed cycles included.
+type Node struct {
+	rt    *site.Runtime
+	tr    transport.Transport
+	ownTr bool
+}
+
+// NewNode creates a node for site id and registers it on its transport.
+// Without WithTransport the node runs over a private concurrent
+// in-memory transport, which makes a standalone node self-contained;
+// multi-site systems share one transport via NewCluster or WithTransport.
+func NewNode(id SiteID, opts ...Option) *Node {
+	c := newConfig(opts)
+	ownTr := false
+	if c.tr == nil {
+		c.tr = transport.NewAsync(transport.Faults{})
+		ownTr = true
+	}
+	return &Node{rt: site.New(id, c.tr, c.site), tr: c.tr, ownTr: ownTr}
+}
+
+// ID returns the node's site identifier.
+func (n *Node) ID() SiteID { return n.rt.ID() }
+
+// Transport returns the transport the node is registered on.
+func (n *Node) Transport() transport.Transport { return n.tr }
+
+// Close releases the node's resources: the private transport is closed
+// (and its goroutines joined) if the node owns one. A node attached via
+// WithTransport leaves the shared transport untouched.
+func (n *Node) Close() error {
+	if !n.ownTr {
+		return nil
+	}
+	return closeTransport(n.tr)
+}
+
+// closeTransport closes a transport if it supports closing.
+func closeTransport(t transport.Transport) error {
+	switch tr := t.(type) {
+	case interface{ Close() error }:
+		return tr.Close()
+	case interface{ Close() }:
+		tr.Close()
+	}
+	return nil
+}
+
+// Root returns the node's root object reference; its slots model the
+// application's named references on this site.
+func (n *Node) Root() Ref { return n.rt.Root() }
+
+// NewLocal creates an object in a fresh cluster on this node, referenced
+// from holder (often the root object).
+func (n *Node) NewLocal(holder ObjectID) (Ref, error) { return n.rt.NewLocal(holder) }
+
+// NewLocalIn creates an object in an existing local cluster, referenced
+// from holder: the coarse clustering granularity of the paper's §3.5.
+func (n *Node) NewLocalIn(holder ObjectID, cl ClusterID) (Ref, error) {
+	return n.rt.NewLocalIn(holder, cl)
+}
+
+// NewClusterID mints a fresh local cluster identity for NewLocalIn.
+func (n *Node) NewClusterID() ClusterID { return n.rt.NewCluster() }
+
+// NewRemote creates an object on the target site, referenced from
+// holder. The caller mints the identities, so no round-trip is needed;
+// the returned reference is usable immediately.
+func (n *Node) NewRemote(holder ObjectID, target SiteID) (Ref, error) {
+	return n.rt.NewRemote(holder, target)
+}
+
+// SendRef copies a reference this node's object fromObj holds to the
+// object named by to (on any site). target may denote fromObj itself, a
+// local object, or a third-party object on yet another site; no
+// synchronous control traffic is added in any case (the paper's lazy
+// log-keeping).
+func (n *Node) SendRef(fromObj ObjectID, to, target Ref) error {
+	return n.rt.SendRef(fromObj, to, target)
+}
+
+// AddRef stores target into a new slot of holder (a local mutation).
+func (n *Node) AddRef(holder ObjectID, target Ref) error { return n.rt.AddRef(holder, target) }
+
+// DropRefs clears every slot of holder referencing target's object.
+func (n *Node) DropRefs(holder ObjectID, target Ref) error { return n.rt.DropRefs(holder, target) }
+
+// ClearSlot drops one slot of holder.
+func (n *Node) ClearSlot(holder ObjectID, slot int) error { return n.rt.ClearSlot(holder, slot) }
+
+// Collect runs local collections until no further GGD cascade fires, and
+// returns the first collection's statistics.
+func (n *Node) Collect() CollectStats { return n.rt.Collect() }
+
+// Refresh re-propagates the node's dependency vectors: the recovery
+// round that re-detects residual garbage after control-message loss.
+func (n *Node) Refresh() { n.rt.Refresh() }
+
+// NumObjects returns the number of live heap objects on this node
+// (including the root object).
+func (n *Node) NumObjects() int { return n.rt.NumObjects() }
+
+// HasObject reports whether the object still exists on this node.
+func (n *Node) HasObject(obj ObjectID) bool { return n.rt.HasObject(obj) }
+
+// Objects returns a reference to every live object on this node, root
+// included, in identifier order.
+func (n *Node) Objects() []Ref {
+	_, snap := n.rt.Snapshot()
+	out := make([]Ref, 0, len(snap))
+	for _, o := range snap {
+		out = append(out, Ref{Obj: o.ID, Cluster: o.Cluster})
+	}
+	return out
+}
+
+// ClusterRemoved reports whether GGD detected the cluster as garbage and
+// removed it.
+func (n *Node) ClusterRemoved(cl ClusterID) bool { return n.rt.ClusterRemoved(cl) }
+
+// Stats returns the node's GGD engine counters.
+func (n *Node) Stats() EngineStats { return n.rt.EngineStats() }
+
+// LogSnapshot returns a deep copy of a local global root's
+// dependency-vector log, or nil if the cluster is unknown or removed.
+func (n *Node) LogSnapshot(cl ClusterID) *Log { return n.rt.LogSnapshot(cl) }
+
+// Clock returns a local global root's event counter.
+func (n *Node) Clock(cl ClusterID) uint64 { return n.rt.Clock(cl) }

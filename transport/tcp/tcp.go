@@ -1,0 +1,542 @@
+// Package tcp is the real-socket transport backend: causalgc sites in
+// different OS processes exchange the same wire messages the in-memory
+// backends carry, as length-prefixed gob frames over TCP.
+//
+// One Network serves one process. It listens on a single address for
+// every site the process hosts, and dials one outgoing connection per
+// remote peer, lazily, with automatic reconnect and exponential backoff —
+// so peer processes may start in any order. Sends to sites registered on
+// the same Network short-circuit through an in-memory queue and never
+// touch a socket.
+//
+// Delivery matches the Transport contract: asynchronous with respect to
+// Send, serialised per destination site (one delivery goroutine each),
+// and at-most-once per send — a frame that cannot be written before Close
+// is dropped, which the GGD control plane tolerates by design (§5 of the
+// paper; mutator payloads are retried across reconnects until Close).
+package tcp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"causalgc/internal/ids"
+	"causalgc/internal/wire"
+	"causalgc/transport"
+)
+
+// maxFrame bounds a single encoded message; larger frames indicate a
+// corrupted stream and close the connection.
+const maxFrame = 16 << 20
+
+// envelope is the on-the-wire frame body: the addressed payload.
+type envelope struct {
+	From    ids.SiteID
+	To      ids.SiteID
+	Payload transport.Payload
+}
+
+func init() {
+	gob.Register(wire.Create{})
+	gob.Register(wire.RefTransfer{})
+	gob.Register(wire.Destroy{})
+	gob.Register(wire.Assert{})
+	gob.Register(wire.Propagate{})
+}
+
+// RegisterPayload registers a custom payload's concrete type with the
+// frame codec. The built-in wire messages are pre-registered; call this
+// in both peer processes for any additional payload types.
+func RegisterPayload(p transport.Payload) { gob.Register(p) }
+
+// Config configures a process-wide TCP transport.
+type Config struct {
+	// Listen is the address to accept peer connections on, e.g.
+	// "127.0.0.1:7001" or ":0" (any port; see Network.Addr).
+	Listen string
+	// Peers maps remote site IDs to their processes' listen addresses.
+	// Sites hosted by this process need no entry. Several sites may map
+	// to the same address (one process hosting many sites); they share
+	// one connection.
+	Peers map[transport.SiteID]string
+	// DialTimeout bounds one connection attempt. Zero means 2s.
+	DialTimeout time.Duration
+	// MaxBackoff caps the reconnect backoff. Zero means 1s.
+	MaxBackoff time.Duration
+}
+
+// Network is a Transport over TCP sockets. Safe for concurrent use.
+type Network struct {
+	cfg   Config
+	ln    net.Listener
+	stats *transport.Stats
+
+	mu      sync.Mutex
+	peers   map[ids.SiteID]string // site → dial address (from cfg + SetPeer)
+	inboxes map[ids.SiteID]*inbox // locally hosted sites
+	writers map[string]*writer    // peer address → connection writer
+	conns   map[net.Conn]struct{} // accepted (inbound) connections
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+var _ transport.Transport = (*Network)(nil)
+
+// New starts a TCP transport: it listens on cfg.Listen immediately and
+// dials peers lazily on first send.
+func New(cfg Config) (*Network, error) {
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.MaxBackoff == 0 {
+		cfg.MaxBackoff = time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen %s: %w", cfg.Listen, err)
+	}
+	n := &Network{
+		cfg:     cfg,
+		ln:      ln,
+		stats:   transport.NewStats(),
+		peers:   make(map[ids.SiteID]string, len(cfg.Peers)),
+		inboxes: make(map[ids.SiteID]*inbox),
+		writers: make(map[string]*writer),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for site, addr := range cfg.Peers {
+		n.peers[site] = addr
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the transport's bound listen address (useful with ":0").
+func (n *Network) Addr() net.Addr { return n.ln.Addr() }
+
+// Stats returns the delivery statistics.
+func (n *Network) Stats() *transport.Stats { return n.stats }
+
+// Register installs the handler for a locally hosted site and starts its
+// delivery goroutine. Registering after Close is a no-op.
+func (n *Network) Register(site ids.SiteID, h transport.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	if in, ok := n.inboxes[site]; ok {
+		in.setHandler(h)
+		return
+	}
+	in := newInbox(h)
+	n.inboxes[site] = in
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		in.pump(n.stats)
+	}()
+}
+
+// Send queues p for delivery to site `to`: in memory when the site is
+// hosted by this process, over the peer connection otherwise. Unroutable
+// destinations (no local handler, no Peers entry) count as dropped.
+func (n *Network) Send(from, to ids.SiteID, p transport.Payload) {
+	n.stats.RecordSent(p)
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.stats.RecordDropped(p)
+		return
+	}
+	if in, ok := n.inboxes[to]; ok {
+		n.mu.Unlock()
+		if !in.enqueue(delivery{from: from, p: p}) {
+			n.stats.RecordDropped(p)
+		}
+		return
+	}
+	addr, ok := n.peers[to]
+	if !ok {
+		n.mu.Unlock()
+		n.stats.RecordDropped(p)
+		return
+	}
+	w, ok := n.writers[addr]
+	if !ok {
+		w = newWriter(n, addr)
+		n.writers[addr] = w
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			w.run()
+		}()
+	}
+	n.mu.Unlock()
+
+	buf, err := encodeFrame(envelope{From: from, To: to, Payload: p})
+	if err != nil {
+		n.stats.RecordDropped(p)
+		return
+	}
+	if !w.enqueue(outFrame{buf: buf, p: p}) {
+		n.stats.RecordDropped(p)
+	}
+}
+
+// Close stops the listener, the delivery goroutines and the peer
+// connections, and joins them. Queued frames that were not yet written
+// are dropped (recorded in Stats); Send after Close drops.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	err := n.ln.Close()
+	ins := make([]*inbox, 0, len(n.inboxes))
+	for _, in := range n.inboxes {
+		ins = append(ins, in)
+	}
+	ws := make([]*writer, 0, len(n.writers))
+	for _, w := range n.writers {
+		ws = append(ws, w)
+	}
+	for c := range n.conns {
+		c.Close()
+	}
+	n.mu.Unlock()
+
+	for _, in := range ins {
+		in.close()
+	}
+	for _, w := range ws {
+		w.close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+// SetPeer adds or updates the dial address for a remote site at runtime
+// (e.g. after a peer bound an ephemeral port). It does not affect frames
+// already queued to the old address.
+func (n *Network) SetPeer(site ids.SiteID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[site] = addr
+}
+
+// --- inbound path --------------------------------------------------------
+
+func (n *Network) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.conns[conn] = struct{}{}
+		n.wg.Add(1)
+		n.mu.Unlock()
+		go func() {
+			defer n.wg.Done()
+			n.readLoop(conn)
+		}()
+	}
+}
+
+func (n *Network) readLoop(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.conns, conn)
+		n.mu.Unlock()
+	}()
+	for {
+		env, err := readFrame(conn)
+		if err != nil {
+			return // EOF, peer reset, or corrupt stream: drop the conn
+		}
+		n.mu.Lock()
+		in := n.inboxes[env.To]
+		n.mu.Unlock()
+		if in == nil || !in.enqueue(delivery{from: env.From, p: env.Payload}) {
+			// A frame for a site this process does not host (stale
+			// routing) or delivered after Close: lost, which the
+			// protocol tolerates.
+			n.stats.RecordDropped(env.Payload)
+		}
+	}
+}
+
+// inbox serialises deliveries to one site, decoupling socket reads from
+// handler execution (handlers may send, and sites lock themselves while
+// handling).
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []delivery
+	h      transport.Handler
+	closed bool
+}
+
+type delivery struct {
+	from ids.SiteID
+	p    transport.Payload
+}
+
+func newInbox(h transport.Handler) *inbox {
+	in := &inbox{h: h}
+	in.cond = sync.NewCond(&in.mu)
+	return in
+}
+
+func (in *inbox) setHandler(h transport.Handler) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.h = h
+}
+
+func (in *inbox) enqueue(d delivery) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return false
+	}
+	in.queue = append(in.queue, d)
+	in.cond.Signal()
+	return true
+}
+
+func (in *inbox) close() {
+	in.mu.Lock()
+	in.closed = true
+	in.cond.Broadcast()
+	in.mu.Unlock()
+}
+
+func (in *inbox) pump(stats *transport.Stats) {
+	for {
+		in.mu.Lock()
+		for len(in.queue) == 0 && !in.closed {
+			in.cond.Wait()
+		}
+		if len(in.queue) == 0 {
+			in.mu.Unlock()
+			return
+		}
+		d := in.queue[0]
+		in.queue = in.queue[1:]
+		h := in.h
+		in.mu.Unlock()
+		stats.RecordDelivered(d.p)
+		h(d.from, d.p)
+	}
+}
+
+// --- outbound path -------------------------------------------------------
+
+// writer owns the single outgoing connection to one peer process: a
+// queue, a dial/redial loop with exponential backoff, and in-order
+// writes. A frame is retried across reconnects until written or the
+// transport closes.
+type writer struct {
+	net  *Network
+	addr string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []outFrame
+	closed bool
+
+	conn net.Conn // owned by run(); under mu only for close()
+}
+
+type outFrame struct {
+	buf []byte
+	p   transport.Payload // for drop accounting
+}
+
+func newWriter(n *Network, addr string) *writer {
+	w := &writer{net: n, addr: addr}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+func (w *writer) enqueue(f outFrame) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	w.queue = append(w.queue, f)
+	w.cond.Signal()
+	return true
+}
+
+func (w *writer) close() {
+	w.mu.Lock()
+	w.closed = true
+	if w.conn != nil {
+		w.conn.Close()
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *writer) run() {
+	defer func() {
+		w.mu.Lock()
+		if w.conn != nil {
+			w.conn.Close()
+			w.conn = nil
+		}
+		dropped := w.queue
+		w.queue = nil
+		w.mu.Unlock()
+		for _, f := range dropped {
+			w.net.stats.RecordDropped(f.p)
+		}
+	}()
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.closed {
+			w.cond.Wait()
+		}
+		if w.closed {
+			w.mu.Unlock()
+			return
+		}
+		f := w.queue[0]
+		w.mu.Unlock()
+
+		if !w.write(f.buf) {
+			return // transport closed while (re)dialing
+		}
+
+		w.mu.Lock()
+		w.queue = w.queue[1:]
+		w.mu.Unlock()
+	}
+}
+
+// write sends one frame, dialing and redialing as needed. It returns
+// false only when the transport closed.
+func (w *writer) write(buf []byte) bool {
+	backoff := 20 * time.Millisecond
+	for {
+		conn := w.ensureConn(&backoff)
+		if conn == nil {
+			return false
+		}
+		if _, err := conn.Write(buf); err == nil {
+			return true
+		}
+		w.dropConn(conn)
+		// Loop: redial and retransmit the same frame. In-order delivery
+		// holds because the queue head is not popped until written.
+	}
+}
+
+func (w *writer) ensureConn(backoff *time.Duration) net.Conn {
+	for {
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			return nil
+		}
+		if w.conn != nil {
+			conn := w.conn
+			w.mu.Unlock()
+			return conn
+		}
+		w.mu.Unlock()
+
+		conn, err := net.DialTimeout("tcp", w.addr, w.net.cfg.DialTimeout)
+		if err != nil {
+			time.Sleep(*backoff)
+			if *backoff *= 2; *backoff > w.net.cfg.MaxBackoff {
+				*backoff = w.net.cfg.MaxBackoff
+			}
+			continue
+		}
+		*backoff = 20 * time.Millisecond
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		w.conn = conn
+		w.mu.Unlock()
+		return conn
+	}
+}
+
+func (w *writer) dropConn(conn net.Conn) {
+	conn.Close()
+	w.mu.Lock()
+	if w.conn == conn {
+		w.conn = nil
+	}
+	w.mu.Unlock()
+}
+
+// --- frame codec ---------------------------------------------------------
+
+// encodeFrame renders an envelope as a length-prefixed gob frame: a
+// 4-byte big-endian length followed by the gob bytes. Each frame carries
+// its own gob stream so a receiver can resynchronise per frame and a
+// reconnecting sender needs no codec state.
+func encodeFrame(env envelope) ([]byte, error) {
+	var body bytes.Buffer
+	body.Write([]byte{0, 0, 0, 0})
+	if err := gob.NewEncoder(&body).Encode(&env); err != nil {
+		return nil, fmt.Errorf("tcp: encode %T: %w", env.Payload, err)
+	}
+	buf := body.Bytes()
+	if len(buf)-4 > maxFrame {
+		// Writing an oversized frame would poison the connection: the
+		// receiver rejects it and drops the whole stream, and a retry
+		// would re-kill the reconnected connection.
+		return nil, fmt.Errorf("tcp: frame for %T is %d bytes, exceeds %d", env.Payload, len(buf)-4, maxFrame)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	return buf, nil
+}
+
+// readFrame reads one length-prefixed gob frame.
+func readFrame(r io.Reader) (envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return envelope{}, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size == 0 || size > maxFrame {
+		return envelope{}, fmt.Errorf("tcp: bad frame size %d", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return envelope{}, err
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
+		return envelope{}, fmt.Errorf("tcp: decode frame: %w", err)
+	}
+	return env, nil
+}

@@ -1,0 +1,81 @@
+// Package transport is the public network substrate of causalgc: the
+// Transport interface every backend implements, the payload contracts the
+// wire messages satisfy, and the two in-memory backends (a deterministic
+// single-threaded simulator and a concurrent channel network). A real
+// TCP socket backend lives in the transport/tcp subpackage; all three run
+// the same GGD engine unchanged.
+//
+// The deterministic backend is the right choice for tests, benchmarks and
+// reproducible experiments: message scheduling is driven by a seed, so a
+// run is replayable. The async backend exercises real concurrency inside
+// one process. The tcp backend connects separate processes.
+//
+// Custom substrates implement Transport directly. Delivery must be
+// asynchronous with respect to Send (a site's handler may send while
+// handling a delivery, and sites hold their own locks while doing both),
+// per-destination delivery should be serialised, and the GGD control
+// plane tolerates loss, duplication and reordering — only payloads
+// implementing Application (the mutator's own messages) need reliable
+// delivery.
+package transport
+
+import (
+	"causalgc/internal/ids"
+	"causalgc/internal/netsim"
+)
+
+// SiteID identifies one site (an independent address space).
+type SiteID = ids.SiteID
+
+// Payload is implemented by every message a Transport carries. The wire
+// messages of the GGD protocol implement it; applications embedding
+// causalgc may define additional payloads.
+type Payload = netsim.Payload
+
+// Application marks payloads that model reliable application traffic
+// (mutator RPC); fault-injecting backends exempt them from loss and
+// duplication.
+type Application = netsim.Application
+
+// Handler consumes a delivered payload on the transport's delivery
+// context.
+type Handler = netsim.Handler
+
+// Transport moves payloads between sites. Implementations must deliver
+// asynchronously (Send must not invoke a handler synchronously on the
+// sending goroutine) and serialise deliveries per destination site.
+type Transport = netsim.Network
+
+// Faults configures fault injection for the in-memory backends.
+type Faults = netsim.Faults
+
+// Stats records per-kind message traffic: sends, deliveries, drops,
+// duplications and approximate bytes. Safe for concurrent use.
+type Stats = netsim.Stats
+
+// NewStats returns empty statistics, for custom Transport
+// implementations.
+func NewStats() *Stats { return netsim.NewStats() }
+
+// FaultEligible reports whether fault injection applies to p: control
+// payloads are eligible, Application payloads are not. Custom
+// fault-injecting backends should consult it before dropping or
+// duplicating.
+func FaultEligible(p Payload) bool { return netsim.FaultEligible(p) }
+
+// Deterministic is the seeded single-threaded simulator: messages queue
+// until its Run/Step methods deliver them, pseudo-randomly but
+// reproducibly. It is not safe for concurrent use.
+type Deterministic = netsim.Sim
+
+// NewDeterministic creates a deterministic in-memory transport with the
+// given fault plan.
+func NewDeterministic(f Faults) *Deterministic { return netsim.NewSim(f) }
+
+// Async is the concurrent in-memory transport: one delivery goroutine per
+// registered site and unbounded queues. Close joins all goroutines.
+type Async = netsim.AsyncNetwork
+
+// NewAsync creates a concurrent in-memory transport with the given fault
+// plan.
+func NewAsync(f Faults) *Async { return netsim.NewAsync(f) }

@@ -1,0 +1,23 @@
+package causalgc_test
+
+import (
+	"testing"
+
+	"causalgc"
+)
+
+func TestUndersizedClusterErrors(t *testing.T) {
+	c := causalgc.NewCluster(1)
+	defer c.Close()
+	if _, err := causalgc.BuildPaperScenario(c); err == nil {
+		t.Error("BuildPaperScenario on 1-node cluster: want error")
+	} else {
+		t.Log(err)
+	}
+	if _, err := causalgc.BuildDLL(c, 8); err == nil {
+		t.Error("BuildDLL k=8 on 1-node cluster: want error")
+	}
+	if causalgc.NewCluster(2).Node(4) != nil {
+		t.Error("Node(4) on 2-node cluster: want nil")
+	}
+}
