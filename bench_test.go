@@ -14,11 +14,14 @@ import (
 
 	"causalgc/internal/baseline/schelvis"
 	"causalgc/internal/baseline/tracing"
+	"causalgc/internal/heap"
 	"causalgc/internal/ids"
 	"causalgc/internal/mutator"
 	"causalgc/internal/netsim"
 	"causalgc/internal/sim"
 	"causalgc/internal/site"
+	"causalgc/internal/wire"
+	"causalgc/persist"
 )
 
 // BenchmarkE5PaperScenario regenerates Fig 8: building the Fig 3 cycle,
@@ -314,6 +317,81 @@ func BenchmarkE8Robustness(b *testing.B) {
 			b.ReportMetric(float64(residual)/float64(b.N), "residual/op")
 			b.ReportMetric(float64(recovered)/float64(b.N), "afterRefresh/op")
 			b.ReportMetric(float64(dangling)/float64(b.N), "unsafe/op")
+		})
+	}
+}
+
+// BenchmarkWALAppend measures the durability overhead of one journaled
+// event: encode a representative WAL record and append it to the
+// segmented log, with and without fsync. This is the per-operation
+// price every durable mutator op and delivery pays (DESIGN.md §5).
+func BenchmarkWALAppend(b *testing.B) {
+	rec := &wire.WALRecord{Op: &wire.OpRecord{
+		Kind:   wire.OpSendRef,
+		Holder: ids.ObjectID{Site: 1, Seq: 7},
+		To:     heap.Ref{Obj: ids.ObjectID{Site: 2, Seq: 3}, Cluster: ids.ClusterID{Site: 2, Seq: 3}},
+		Target: heap.Ref{Obj: ids.ObjectID{Site: 3, Seq: 9}, Cluster: ids.ClusterID{Site: 3, Seq: 9}},
+	}}
+	for _, mode := range []struct {
+		name   string
+		noSync bool
+	}{{"fsync", false}, {"nosync", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p, err := site.OpenPersist(b.TempDir(), site.PersistOptions{
+				SnapshotEvery: 1 << 30,
+				Store:         persist.Options{NoSync: mode.noSync},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery measures crash recovery: reconstruct a site from
+// its snapshot-free WAL of k journaled operations (the worst case —
+// every record replays).
+func BenchmarkRecovery(b *testing.B) {
+	for _, k := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("records=%d", k), func(b *testing.B) {
+			dir := b.TempDir()
+			opts := site.DefaultOptions()
+			popts := site.PersistOptions{SnapshotEvery: 1 << 30, Store: persist.Options{NoSync: true}}
+			p, err := site.OpenPersist(dir, popts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s1, err := site.Recover(1, netsim.NewSim(netsim.Faults{Seed: 1}), opts, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < k; i++ {
+				if _, err := s1.NewLocal(s1.Root().Obj); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := p.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pr, err := site.OpenPersist(dir, popts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := site.Recover(1, netsim.NewSim(netsim.Faults{Seed: 1}), opts, pr); err != nil {
+					b.Fatal(err)
+				}
+				pr.Close()
+			}
+			b.ReportMetric(float64(k), "records/op")
 		})
 	}
 }

@@ -2,6 +2,7 @@ package causalgc
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"causalgc/internal/sim"
@@ -31,7 +32,11 @@ type Cluster struct {
 
 // NewCluster builds n nodes over a shared transport. The options are
 // applied to every node; a WithTransport option supplies the shared
-// substrate (and leaves its ownership with the caller).
+// substrate (and leaves its ownership with the caller). With
+// WithPersistence(dir) each node journals under dir/site-<id> — fresh
+// directories start journaling, existing ones are recovered — and
+// NewCluster panics on a persistence I/O error (build nodes with
+// Recover directly to handle errors).
 func NewCluster(n int, opts ...Option) *Cluster {
 	cfg := newConfig(opts)
 	ownTr := false
@@ -42,10 +47,25 @@ func NewCluster(n int, opts ...Option) *Cluster {
 	c := &Cluster{tr: cfg.tr, ownTr: ownTr}
 	c.det, _ = cfg.tr.(*transport.Deterministic)
 	for i := 1; i <= n; i++ {
-		c.nodes = append(c.nodes, &Node{
-			rt: site.New(SiteID(i), cfg.tr, cfg.site),
-			tr: cfg.tr,
-		})
+		id := SiteID(i)
+		if cfg.persistDir == "" {
+			c.nodes = append(c.nodes, &Node{
+				rt: site.New(id, cfg.tr, cfg.site),
+				tr: cfg.tr,
+			})
+			continue
+		}
+		// One construction path for persistent nodes: Recover, with the
+		// per-site subdirectory and the shared transport appended so
+		// they override whatever the caller's options carried.
+		node, err := Recover(id, append(append([]Option{}, opts...),
+			WithTransport(cfg.tr),
+			WithPersistence(filepath.Join(cfg.persistDir, fmt.Sprintf("site-%d", i))),
+		)...)
+		if err != nil {
+			panic(fmt.Sprintf("causalgc: NewCluster site %v: %v", id, err))
+		}
+		c.nodes = append(c.nodes, node)
 	}
 	return c
 }
@@ -65,14 +85,23 @@ func (c *Cluster) Nodes() []*Node { return c.nodes }
 // Transport returns the shared transport (statistics, fault control).
 func (c *Cluster) Transport() transport.Transport { return c.tr }
 
-// Close releases the cluster's resources, closing the transport if the
-// cluster owns it (deterministic default: a no-op beyond bookkeeping;
-// async: joins the delivery goroutines).
+// Close releases the cluster's resources: every node is closed (which
+// closes its persistence journal, if any), and the transport is closed
+// if the cluster owns it (deterministic default: a no-op beyond
+// bookkeeping; async: joins the delivery goroutines).
 func (c *Cluster) Close() error {
-	if !c.ownTr {
-		return nil
+	var first error
+	for _, n := range c.nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	return closeTransport(c.tr)
+	if c.ownTr {
+		if err := closeTransport(c.tr); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Run delivers in-flight messages: on the deterministic substrate it
@@ -108,7 +137,9 @@ func (c *Cluster) Step() bool {
 // resulting traffic.
 func (c *Cluster) CollectAll() error {
 	for _, n := range c.nodes {
-		n.Collect()
+		if _, err := n.Collect(); err != nil {
+			return err
+		}
 	}
 	return c.Run()
 }
@@ -117,7 +148,9 @@ func (c *Cluster) CollectAll() error {
 // the recovery mechanism for residual garbage after message loss.
 func (c *Cluster) RefreshAll() error {
 	for _, n := range c.nodes {
-		n.Refresh()
+		if err := n.Refresh(); err != nil {
+			return err
+		}
 	}
 	return c.Run()
 }

@@ -1,5 +1,5 @@
 // causalgc-bench regenerates the experiment tables of EXPERIMENTS.md
-// (E5–E8, A2) as plain text. Each experiment corresponds to a figure,
+// (E5–E9, A2) as plain text. Each experiment corresponds to a figure,
 // claim or comparison in the paper; see DESIGN.md §4 for the index. The
 // experiment logic lives in the causalgc/eval package; `go test -bench=.`
 // at the repository root reports the same quantities as benchmarks.
@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: E5 E6 E7 E8 A2 or all")
+	exp := flag.String("exp", "all", "experiment id: E5 E6 E7 E8 E9 A2 or all")
 	flag.Parse()
 	if !eval.Run(os.Stdout, *exp) {
 		os.Exit(1)

@@ -19,13 +19,26 @@
 //	causalgc-node -sites 2   -listen 127.0.0.1:7002 -peers 1=127.0.0.1:7001,3=127.0.0.1:7001 -demo
 //
 // Both processes exit 0 once the cycle is gone. Without -demo the
-// process just hosts its sites (collecting periodically) until killed.
+// process just hosts its sites (collecting periodically and printing a
+// status line) until killed.
+//
+// With -persist <dir> every hosted site journals its state under
+// <dir>/site-<id> (write-ahead log + snapshots): a process killed at
+// any instant — kill -9 included — resumes from the same directory, so
+//
+//	causalgc-node -sites 2 ... -demo -persist /var/lib/causalgc
+//	<kill -9 mid-protocol>
+//	causalgc-node -sites 2 ... -persist /var/lib/causalgc
+//
+// recovers site 2 and the cluster still reclaims its garbage (the e2e
+// test exercises exactly this).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -40,15 +53,18 @@ func main() {
 	peersFlag := flag.String("peers", "", "remote sites, e.g. 2=127.0.0.1:7002,3=127.0.0.1:7003")
 	demo := flag.Bool("demo", false, "run the distributed-cycle demo, then exit")
 	timeout := flag.Duration("timeout", 60*time.Second, "demo deadline")
+	persistDir := flag.String("persist", "", "directory for per-site durability (WAL + snapshots); empty = volatile")
+	snapshotEvery := flag.Int("snapshot-every", 256, "WAL records between snapshots (with -persist)")
+	dialTimeout := flag.Duration("dial-timeout", 2*time.Second, "peer connection attempt timeout")
 	flag.Parse()
 
-	if err := run(*sitesFlag, *listen, *peersFlag, *demo, *timeout); err != nil {
+	if err := run(*sitesFlag, *listen, *peersFlag, *demo, *timeout, *persistDir, *snapshotEvery, *dialTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "causalgc-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sitesFlag, listen, peersFlag string, demo bool, timeout time.Duration) error {
+func run(sitesFlag, listen, peersFlag string, demo bool, timeout time.Duration, persistDir string, snapshotEvery int, dialTimeout time.Duration) error {
 	siteIDs, err := parseSites(sitesFlag)
 	if err != nil {
 		return err
@@ -58,7 +74,7 @@ func run(sitesFlag, listen, peersFlag string, demo bool, timeout time.Duration) 
 		return err
 	}
 
-	net, err := tcp.New(tcp.Config{Listen: listen, Peers: peers})
+	net, err := tcp.New(tcp.Config{Listen: listen, Peers: peers, DialTimeout: dialTimeout})
 	if err != nil {
 		return err
 	}
@@ -67,20 +83,30 @@ func run(sitesFlag, listen, peersFlag string, demo bool, timeout time.Duration) 
 
 	nodes := make(map[causalgc.SiteID]*causalgc.Node, len(siteIDs))
 	for _, id := range siteIDs {
-		nodes[id] = causalgc.NewNode(id, causalgc.WithTransport(net))
+		if persistDir == "" {
+			nodes[id] = causalgc.NewNode(id, causalgc.WithTransport(net))
+			continue
+		}
+		dir := filepath.Join(persistDir, fmt.Sprintf("site-%d", id))
+		n, err := causalgc.Recover(id,
+			causalgc.WithTransport(net),
+			causalgc.WithPersistence(dir),
+			causalgc.WithSnapshotEvery(snapshotEvery),
+		)
+		if err != nil {
+			return fmt.Errorf("recover site %v from %s: %w", id, dir, err)
+		}
+		fmt.Printf("site %v: recovered from %s (%d objects)\n", id, dir, n.NumObjects())
+		nodes[id] = n
 	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
 
 	if !demo {
-		for {
-			time.Sleep(time.Second)
-			for _, n := range nodes {
-				n.Collect()
-				// The §5 recovery round: without it, control messages
-				// lost to peer restarts would leak residual garbage
-				// forever in a long-lived node.
-				n.Refresh()
-			}
-		}
+		return serve(nodes)
 	}
 
 	deadline := time.Now().Add(timeout)
@@ -116,6 +142,27 @@ func run(sitesFlag, listen, peersFlag string, demo bool, timeout time.Duration) 
 	}
 	fmt.Printf("traffic:\n%s", net.Stats())
 	return nil
+}
+
+// serve hosts the sites until killed: a collection and refresh round
+// per second (the §5 recovery round — without it, control messages lost
+// to peer restarts would leak residual garbage forever in a long-lived
+// node) and a parseable status line for supervisors and the e2e test.
+func serve(nodes map[causalgc.SiteID]*causalgc.Node) error {
+	for {
+		time.Sleep(time.Second)
+		total := 0
+		for _, n := range nodes {
+			if _, err := n.Collect(); err != nil {
+				return err
+			}
+			if err := n.Refresh(); err != nil {
+				return err
+			}
+			total += n.NumObjects()
+		}
+		fmt.Printf("status objects=%d\n", total)
+	}
 }
 
 // runDriver is the site-1 side of the demo: remote create, then drop,

@@ -1,9 +1,16 @@
 package causalgc
 
 import (
+	"errors"
+
 	"causalgc/internal/heap"
 	"causalgc/internal/site"
 )
+
+// ErrNodeClosed is returned by mutator and collection operations on a
+// Node after Close: the node's persistence (if any) is closed and its
+// site state is frozen. Match with errors.Is.
+var ErrNodeClosed = errors.New("causalgc: node closed")
 
 // Sentinel errors returned (wrapped with site/object context) by Node
 // operations. Match with errors.Is.

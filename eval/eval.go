@@ -14,6 +14,8 @@ package eval
 import (
 	"fmt"
 	"io"
+	"math/rand"
+	"os"
 	"strings"
 
 	"causalgc/internal/baseline/schelvis"
@@ -25,10 +27,10 @@ import (
 	"causalgc/internal/site"
 )
 
-// Run executes one experiment by identifier (E5, E6, E7, E8, A2) or all
-// of them ("all", case-insensitive), writing tables to w. It reports
-// whether every executed experiment met its expectation; an unknown
-// identifier runs nothing and reports failure.
+// Run executes one experiment by identifier (E5, E6, E7, E8, E9, A2) or
+// all of them ("all", case-insensitive), writing tables to w. It
+// reports whether every executed experiment met its expectation; an
+// unknown identifier runs nothing and reports failure.
 func Run(w io.Writer, which string) bool {
 	which = strings.ToUpper(which)
 	any := which == "ALL"
@@ -50,12 +52,16 @@ func Run(w io.Writer, which string) bool {
 		ok = E8(w) && ok
 		ran = true
 	}
+	if any || which == "E9" {
+		ok = E9(w) && ok
+		ran = true
+	}
 	if any || which == "A2" {
 		ok = A2(w) && ok
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(w, "unknown experiment %q (want E5, E6, E7, E8, A2 or all)\n", which)
+		fmt.Fprintf(w, "unknown experiment %q (want E5, E6, E7, E8, E9, A2 or all)\n", which)
 		return false
 	}
 	return ok
@@ -262,6 +268,90 @@ func e8Run(drop float64) (residual, recovered, dangling int) {
 		dangling += len(rep.Dangling)
 	}
 	return residual, recovered, dangling
+}
+
+// E9 exercises the durability subsystem's crash-recovery guarantee:
+// randomised churn over durable sites (write-ahead log + snapshots,
+// DESIGN.md §5) interleaved with process kills and recoveries at random
+// points. Safety must be unconditional — the oracle may never observe a
+// live object reclaimed, no matter where the crashes land; crashes may
+// only cost residual garbage, which healing refresh rounds win back
+// like any other message loss.
+func E9(w io.Writer) bool {
+	fmt.Fprintln(w, "== E9: durability — crash/restart never violates safety ==")
+	fmt.Fprintf(w, "%6s %8s %10s %10s %14s %10s\n", "seed", "crashes", "replayed", "residual", "afterRefresh", "dangling")
+	ok := true
+	for seed := int64(1); seed <= 5; seed++ {
+		r, err := e9Run(seed)
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+			return false
+		}
+		fmt.Fprintf(w, "%6d %8d %10d %10d %14d %10d\n",
+			seed, r.crashes, r.replayed, r.residual, r.afterRefresh, r.dangling)
+		ok = ok && r.dangling == 0
+	}
+	fmt.Fprintln(w, "safety is unconditional (dangling always 0); a crash is just another lossy link")
+	fmt.Fprintln(w)
+	return ok
+}
+
+type e9Result struct {
+	crashes, replayed, residual, afterRefresh, dangling int
+}
+
+func e9Run(seed int64) (r e9Result, err error) {
+	dir, err := os.MkdirTemp("", "causalgc-e9-*")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(dir)
+	wd, err := sim.NewDurableWorld(4, netsim.Faults{Seed: seed, Reorder: true}, site.DefaultOptions(), dir, 16)
+	if err != nil {
+		return r, err
+	}
+	defer wd.Close()
+	rng := rand.New(rand.NewSource(seed * 31))
+	for round := 0; round < 5; round++ {
+		if _, err := mutator.Churn(wd, mutator.ChurnConfig{
+			Seed: seed*100 + int64(round), Ops: 40, StepsBetweenOps: 3,
+		}); err != nil {
+			return r, err
+		}
+		for i := rng.Intn(30); i > 0 && wd.Step(); i-- {
+		}
+		victim := ids.SiteID(1 + rng.Intn(4))
+		if err := wd.Crash(victim); err != nil {
+			return r, err
+		}
+		if err := wd.Restart(victim); err != nil {
+			return r, err
+		}
+		r.crashes++
+		if err := wd.Run(); err != nil {
+			return r, err
+		}
+		r.dangling += len(wd.Check().Dangling)
+	}
+	if err := wd.Settle(); err != nil {
+		return r, err
+	}
+	rep := wd.Check()
+	r.residual = len(rep.Garbage)
+	r.dangling += len(rep.Dangling)
+	for i := 0; i < 6; i++ {
+		if err := wd.RefreshAll(); err != nil {
+			return r, err
+		}
+		if err := wd.Settle(); err != nil {
+			return r, err
+		}
+	}
+	rep = wd.Check()
+	r.afterRefresh = len(rep.Garbage)
+	r.dangling += len(rep.Dangling)
+	r.replayed = wd.ReplayedRecords()
+	return r, nil
 }
 
 // A2 regenerates the ablation that motivates the sound removal guard:

@@ -715,10 +715,17 @@ func (e *Engine) queueDestroy(from, to ids.ClusterID, m DestroyMsg) {
 
 // --- Recovery (§5: residual garbage) ------------------------------------
 
-// Refresh re-evaluates every local process and re-propagates its current
-// state unconditionally. GGD messages are idempotent, so a refresh is
+// Refresh re-evaluates every local process, re-propagates its current
+// state unconditionally, and re-sends the edge-destruction bundles of
+// every edge the process has destroyed (its on-behalf rows whose own
+// column carries Ē). GGD messages are idempotent, so a refresh is
 // always safe; it re-detects residual garbage whose original detection
-// traffic was lost.
+// traffic was lost — including a lost destroy message itself, which
+// propagation alone can never recover: once the edge is gone the
+// destroyer no longer propagates towards its former target, so the Ē
+// is marooned in the on-behalf row until a refresh re-ships it (the
+// crash-recovery path depends on this, and E8's healing rounds improve
+// with it).
 func (e *Engine) Refresh() {
 	for _, id := range e.Processes() {
 		p, ok := e.procs[id]
@@ -737,6 +744,24 @@ func (e *Engine) Refresh() {
 		}
 		p.active = true
 		e.propagate(p, res)
+		for _, k := range p.log.Processes() {
+			if k == p.id || p.acq.Has(k) {
+				continue
+			}
+			ob := p.log.PeekOB(k)
+			if ob == nil || !ob.Auth.Get(p.id).Eps {
+				continue
+			}
+			// The edge p→k was destroyed and not re-created: re-send the
+			// destruction bundle. Receivers merge it idempotently (a
+			// re-created edge's fresher live stamp supersedes the Ē), and
+			// stale copies to removed targets are dropped there.
+			e.queueDestroy(p.id, k, DestroyMsg{
+				Auth:      ob.Auth.Clone(),
+				Hints:     ob.Hints.Clone(),
+				Processed: ob.Processed.Clone(),
+			})
+		}
 		e.Drain()
 	}
 }

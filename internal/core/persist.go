@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"causalgc/internal/ids"
+	"causalgc/internal/vclock"
+)
+
+// EngineImage is the serialisable form of an Engine, used by the
+// durability subsystem's snapshots. It may only be taken at a quiescent
+// point (empty inbox): the site runtime snapshots after settling, so
+// every queued GGD delivery has been processed. Pre-registration
+// buffered deliveries (reordered control messages that raced ahead of
+// their target's creation) are part of the image.
+type EngineImage struct {
+	Procs      []ProcImage
+	Tombstones map[ids.ClusterID]uint64
+	Pending    []PendingImage
+	Stats      Stats
+}
+
+// ProcImage is one process's state.
+type ProcImage struct {
+	ID     ids.ClusterID
+	Clock  uint64
+	Active bool
+	Acq    []ids.ClusterID
+	Log    vclock.LogImage
+}
+
+// PendingImage is one buffered pre-registration delivery.
+type PendingImage struct {
+	To, From ids.ClusterID
+	Kind     int
+	Destroy  DestroyMsg
+	Prop     Propagation
+	Assert   AssertMsg
+}
+
+// Export renders the engine as an image sharing no state with it. It
+// fails if deliveries are still queued (the caller must Drain first):
+// snapshotting mid-cascade would bake a half-processed inbox into the
+// image.
+func (e *Engine) Export() (EngineImage, error) {
+	if len(e.inbox) > 0 {
+		return EngineImage{}, fmt.Errorf("core %v: export with %d queued deliveries", e.site, len(e.inbox))
+	}
+	img := EngineImage{
+		Tombstones: make(map[ids.ClusterID]uint64, len(e.tombstone)),
+		Stats:      e.stats,
+	}
+	for _, id := range e.Processes() {
+		p := e.procs[id]
+		img.Procs = append(img.Procs, ProcImage{
+			ID:     p.id,
+			Clock:  p.clock,
+			Active: p.active,
+			Acq:    p.acq.Sorted(),
+			Log:    p.log.Export(),
+		})
+	}
+	for cl, clock := range e.tombstone {
+		img.Tombstones[cl] = clock
+	}
+	var pendingTo []ids.ClusterID
+	for to := range e.pending {
+		pendingTo = append(pendingTo, to)
+	}
+	ids.SortClusters(pendingTo)
+	for _, to := range pendingTo {
+		for _, d := range e.pending[to] {
+			img.Pending = append(img.Pending, PendingImage{
+				To: d.to, From: d.from, Kind: int(d.kind),
+				Destroy: cloneDestroy(d.destroy), Prop: cloneProp(d.prop), Assert: d.assert,
+			})
+		}
+	}
+	return img, nil
+}
+
+// Restore rebuilds an engine from an image. The callbacks mirror New;
+// the image is not retained.
+func Restore(site ids.SiteID, send Sender, onRemove func(ids.ClusterID), opts Options, img EngineImage) (*Engine, error) {
+	e := New(site, send, onRemove, opts)
+	e.stats = img.Stats
+	for _, pi := range img.Procs {
+		if pi.ID.Site != site {
+			return nil, fmt.Errorf("core %v: restore foreign process %v", site, pi.ID)
+		}
+		e.procs[pi.ID] = &process{
+			id:     pi.ID,
+			clock:  pi.Clock,
+			active: pi.Active,
+			log:    vclock.RestoreLog(pi.ID, pi.Log),
+			acq:    ids.NewClusterSet(pi.Acq...),
+		}
+	}
+	for cl, clock := range img.Tombstones {
+		e.tombstone[cl] = clock
+	}
+	for _, di := range img.Pending {
+		e.pending[di.To] = append(e.pending[di.To], delivery{
+			to: di.To, from: di.From, kind: deliveryKind(di.Kind),
+			destroy: cloneDestroy(di.Destroy), prop: cloneProp(di.Prop), assert: di.Assert,
+		})
+	}
+	return e, nil
+}
+
+func cloneDestroy(m DestroyMsg) DestroyMsg {
+	return DestroyMsg{Auth: cloneVec(m.Auth), Hints: cloneVec(m.Hints), Processed: cloneVec(m.Processed)}
+}
+
+func cloneVec(v vclock.Vector) vclock.Vector {
+	if v == nil {
+		return nil
+	}
+	return v.Clone()
+}

@@ -1,0 +1,120 @@
+package heap
+
+import (
+	"fmt"
+	"sort"
+
+	"causalgc/internal/ids"
+)
+
+// Image is the serialisable form of a Heap, used by the durability
+// subsystem's snapshots. Export is deterministic (sorted), so snapshot
+// bytes are reproducible for a given state.
+type Image struct {
+	Site        ids.SiteID
+	RootCluster ids.ClusterID
+	RootObject  ids.ObjectID
+	NextObj     uint64
+	NextClu     uint64
+	Objects     []ObjectImage
+	Clusters    []ClusterImage
+	Edges       []EdgeImage
+}
+
+// ObjectImage is one object's state.
+type ObjectImage struct {
+	ID      ids.ObjectID
+	Cluster ids.ClusterID
+	Slots   []Ref
+}
+
+// ClusterImage is one cluster's bookkeeping.
+type ClusterImage struct {
+	ID      ids.ClusterID
+	Entries []ids.ObjectID
+	Removed bool
+}
+
+// EdgeImage is one global-root-graph edge's reference count.
+type EdgeImage struct {
+	From, To ids.ClusterID
+	Count    int
+}
+
+// Export renders the heap as an image sharing no state with it.
+func (h *Heap) Export() Image {
+	img := Image{
+		Site:        h.site,
+		RootCluster: h.rootClu,
+		RootObject:  h.rootObj,
+		NextObj:     h.nextObj,
+		NextClu:     h.nextClu,
+	}
+	for _, o := range h.Objects() {
+		img.Objects = append(img.Objects, ObjectImage{ID: o.id, Cluster: o.cluster, Slots: o.Slots()})
+	}
+	for _, id := range h.Clusters() {
+		c := h.clusters[id]
+		img.Clusters = append(img.Clusters, ClusterImage{ID: id, Entries: h.Entries(id), Removed: c.removed})
+	}
+	for e, n := range h.edges {
+		img.Edges = append(img.Edges, EdgeImage{From: e.from, To: e.to, Count: n})
+	}
+	sortEdges(img.Edges)
+	return img
+}
+
+// Restore rebuilds a heap from an image without firing any Hooks
+// notifications: the image already reflects every edge transition, and
+// the engine state restored alongside it reflects the notifications the
+// live heap issued.
+func Restore(hooks Hooks, img Image) (*Heap, error) {
+	if !img.Site.Valid() || !img.RootCluster.Valid() || !img.RootObject.Valid() {
+		return nil, fmt.Errorf("heap: restore: incomplete image for site %v", img.Site)
+	}
+	h := &Heap{
+		site:     img.Site,
+		hooks:    hooks,
+		objects:  make(map[ids.ObjectID]*Object, len(img.Objects)),
+		clusters: make(map[ids.ClusterID]*cluster, len(img.Clusters)),
+		edges:    make(map[edge]int, len(img.Edges)),
+		rootClu:  img.RootCluster,
+		rootObj:  img.RootObject,
+		nextObj:  img.NextObj,
+		nextClu:  img.NextClu,
+	}
+	for _, ci := range img.Clusters {
+		c := h.addCluster(ci.ID)
+		c.removed = ci.Removed
+		for _, obj := range ci.Entries {
+			c.entries[obj] = struct{}{}
+		}
+	}
+	for _, oi := range img.Objects {
+		c, ok := h.clusters[oi.Cluster]
+		if !ok {
+			return nil, fmt.Errorf("heap: restore: object %v in unknown cluster %v", oi.ID, oi.Cluster)
+		}
+		o := &Object{id: oi.ID, cluster: oi.Cluster, slots: append([]Ref(nil), oi.Slots...)}
+		h.objects[o.id] = o
+		c.objects[o.id] = o
+	}
+	if h.objects[h.rootObj] == nil {
+		return nil, fmt.Errorf("heap: restore: root object %v missing", h.rootObj)
+	}
+	for _, ei := range img.Edges {
+		h.edges[edge{from: ei.From, to: ei.To}] = ei.Count
+	}
+	return h, nil
+}
+
+// sortEdges uses sort.Slice: edge counts scale with the heap, unlike
+// the small per-process sets the ids-package insertion sorts serve.
+func sortEdges(es []EdgeImage) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From.Less(es[j].From)
+		}
+		return es[i].To.Less(es[j].To)
+	})
+}

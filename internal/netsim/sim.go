@@ -164,6 +164,45 @@ func (s *Sim) Run(maxSteps int) (int, error) {
 	return n, nil
 }
 
+// Unregister removes a site's handler, modelling a crashed process:
+// messages delivered to it afterwards are dropped (tolerated loss)
+// until a recovered runtime re-registers.
+func (s *Sim) Unregister(site ids.SiteID) {
+	delete(s.handlers, site)
+}
+
+// DropPendingTo discards the queued GGD control messages addressed to a
+// site, modelling the in-flight frames a process crash loses; it
+// returns the number dropped. Application payloads (mutator RPC) stay
+// queued: the model — like the paper's §3.4 — assumes the application
+// retries its own messages until delivered, so they reach the restarted
+// site.
+func (s *Sim) DropPendingTo(site ids.SiteID) int {
+	dropped := 0
+	for ch, q := range s.queues {
+		if ch.to != site {
+			continue
+		}
+		keep := q[:0]
+		for _, p := range q {
+			if FaultEligible(p) {
+				s.stats.RecordDropped(p)
+				s.inFlight--
+				dropped++
+				continue
+			}
+			keep = append(keep, p)
+		}
+		if len(keep) == 0 {
+			delete(s.queues, ch)
+			s.removeChannel(ch)
+		} else {
+			s.queues[ch] = keep
+		}
+	}
+	return dropped
+}
+
 // Rand exposes the simulator's seeded source so workloads can share it and
 // stay reproducible.
 func (s *Sim) Rand() *rand.Rand { return s.rng }

@@ -6,11 +6,13 @@ package sim
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"causalgc/internal/ids"
 	"causalgc/internal/netsim"
 	"causalgc/internal/oracle"
 	"causalgc/internal/site"
+	"causalgc/persist"
 )
 
 // DefaultStepBudget bounds one Run: the GGD fixpoint always terminates,
@@ -26,15 +28,141 @@ const DefaultSettleRounds = 16
 type World struct {
 	net   *netsim.Sim
 	sites []*site.Runtime
+	opts  site.Options
+
+	// durable tracks the journals of a durable world (NewDurableWorld);
+	// nil entries mean the site is volatile.
+	durable []*durableSite
+}
+
+// durableSite is one site's persistence handle.
+type durableSite struct {
+	dir      string
+	every    int
+	journal  *site.Persist
+	crashed  bool
+	restarts int
+	replayed int
 }
 
 // NewWorld builds n sites (IDs 1..n) over a deterministic simulator.
 func NewWorld(n int, faults netsim.Faults, opts site.Options) *World {
-	w := &World{net: netsim.NewSim(faults)}
+	w := &World{net: netsim.NewSim(faults), opts: opts}
 	for i := 1; i <= n; i++ {
 		w.sites = append(w.sites, site.New(ids.SiteID(i), w.net, opts))
 	}
 	return w
+}
+
+// NewDurableWorld builds n durable sites journaling under
+// dir/site-<id>, snapshotting every `every` records. Sites can then be
+// killed and recovered with Crash/Restart — the kill-and-restart fault
+// scenario. Journals run unsynced: an in-process "crash" cannot lose
+// page-cache contents, so fsync would only slow the schedule search.
+func NewDurableWorld(n int, faults netsim.Faults, opts site.Options, dir string, every int) (*World, error) {
+	w := &World{net: netsim.NewSim(faults), opts: opts}
+	for i := 1; i <= n; i++ {
+		id := ids.SiteID(i)
+		d := &durableSite{dir: filepath.Join(dir, fmt.Sprintf("site-%d", i)), every: every}
+		j, err := site.OpenPersist(d.dir, site.PersistOptions{
+			SnapshotEvery: every,
+			Store:         persist.Options{NoSync: true},
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.journal = j
+		s, err := site.Recover(id, w.net, opts, j)
+		if err != nil {
+			return nil, err
+		}
+		w.sites = append(w.sites, s)
+		w.durable = append(w.durable, d)
+	}
+	return w, nil
+}
+
+// Crash kills a durable site: its journal's files are closed with no
+// final snapshot (exactly what SIGKILL leaves behind), its handler is
+// torn down, and the in-flight GGD control messages addressed to it are
+// lost. The site's runtime is unusable until Restart.
+func (w *World) Crash(id ids.SiteID) error {
+	d := w.durableOf(id)
+	if d == nil {
+		return fmt.Errorf("sim: site %v is not durable", id)
+	}
+	if d.crashed {
+		return fmt.Errorf("sim: site %v already crashed", id)
+	}
+	if err := d.journal.Close(); err != nil {
+		return err
+	}
+	d.crashed = true
+	w.net.Unregister(id)
+	w.net.DropPendingTo(id)
+	return nil
+}
+
+// Restart recovers a crashed durable site from its journal directory
+// and re-registers it on the network.
+func (w *World) Restart(id ids.SiteID) error {
+	d := w.durableOf(id)
+	if d == nil {
+		return fmt.Errorf("sim: site %v is not durable", id)
+	}
+	if !d.crashed {
+		return fmt.Errorf("sim: site %v is not crashed", id)
+	}
+	j, err := site.OpenPersist(d.dir, site.PersistOptions{
+		SnapshotEvery: d.every,
+		Store:         persist.Options{NoSync: true},
+	})
+	if err != nil {
+		return err
+	}
+	s, err := site.Recover(id, w.net, w.opts, j)
+	if err != nil {
+		j.Close()
+		return err
+	}
+	d.journal = j
+	d.crashed = false
+	d.restarts++
+	d.replayed += j.Store().Stats().RecoveredRecords
+	w.sites[int(id)-1] = s
+	return nil
+}
+
+// ReplayedRecords sums the WAL records replayed by all restarts so far.
+func (w *World) ReplayedRecords() int {
+	total := 0
+	for _, d := range w.durable {
+		if d != nil {
+			total += d.replayed
+		}
+	}
+	return total
+}
+
+// Close closes the journals of a durable world.
+func (w *World) Close() error {
+	var first error
+	for _, d := range w.durable {
+		if d != nil && !d.crashed {
+			if err := d.journal.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+func (w *World) durableOf(id ids.SiteID) *durableSite {
+	i := int(id) - 1
+	if i < 0 || i >= len(w.durable) {
+		return nil
+	}
+	return w.durable[i]
 }
 
 // Site returns the runtime of site id (1-based).
@@ -65,7 +193,9 @@ func (w *World) Run() error {
 // resulting traffic.
 func (w *World) CollectAll() error {
 	for _, s := range w.sites {
-		s.Collect()
+		if _, err := s.Collect(); err != nil {
+			return err
+		}
 	}
 	return w.Run()
 }
@@ -74,7 +204,9 @@ func (w *World) CollectAll() error {
 // recovery mechanism for residual garbage after message loss (§5).
 func (w *World) RefreshAll() error {
 	for _, s := range w.sites {
-		s.Refresh()
+		if err := s.Refresh(); err != nil {
+			return err
+		}
 	}
 	return w.Run()
 }

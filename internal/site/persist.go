@@ -1,0 +1,366 @@
+package site
+
+import (
+	"fmt"
+	"sort"
+
+	"causalgc/internal/core"
+	"causalgc/internal/heap"
+	"causalgc/internal/ids"
+	"causalgc/internal/netsim"
+	"causalgc/internal/wire"
+	"causalgc/persist"
+)
+
+// Journal is the runtime's durability hook. Append is called
+// write-ahead — before the recorded event mutates state or sends
+// messages — and must make the record durable before returning, which
+// is what guarantees no frame escapes a site before the event that
+// caused it can be replayed. Checkpoint is called at quiescent points
+// (end of every operation and delivery, under the runtime's mutex); the
+// implementation decides whether to materialise a snapshot and must not
+// call back into the Runtime.
+type Journal interface {
+	Append(rec *wire.WALRecord) error
+	Checkpoint(build func() (*wire.SiteImage, error)) error
+}
+
+// PersistOptions tune a Persist journal.
+type PersistOptions struct {
+	// SnapshotEvery takes a snapshot (and truncates the WAL) after this
+	// many appended records. Zero means 1024.
+	SnapshotEvery int
+	// Store configures the underlying persist.Store.
+	Store persist.Options
+}
+
+func (o PersistOptions) withDefaults() PersistOptions {
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 1024
+	}
+	return o
+}
+
+// Persist is the standard Journal: wire-encoded records over a
+// persist.Store, with a snapshot every SnapshotEvery records. Safe for
+// use by one Runtime (the runtime serialises calls under its mutex).
+type Persist struct {
+	store    *persist.Store
+	opts     PersistOptions
+	appended int
+	// sticky records the first checkpoint failure; subsequent appends
+	// surface it so disk trouble degrades loudly instead of silently
+	// growing an untruncatable WAL.
+	sticky error
+}
+
+// OpenPersist opens (or creates) the persistence directory for one
+// site and recovers its durable state.
+func OpenPersist(dir string, opts PersistOptions) (*Persist, error) {
+	st, err := persist.Open(dir, opts.Store)
+	if err != nil {
+		return nil, err
+	}
+	// Recovered WAL records count toward the snapshot threshold:
+	// otherwise a process that crashes faster than SnapshotEvery fresh
+	// appends would never truncate, and each restart would replay an
+	// ever-growing log.
+	return &Persist{store: st, opts: opts.withDefaults(), appended: len(st.WAL())}, nil
+}
+
+// Load decodes the recovered snapshot (nil for a fresh directory) and
+// the WAL tail appended after it.
+func (p *Persist) Load() (*wire.SiteImage, []*wire.WALRecord, error) {
+	var img *wire.SiteImage
+	if body := p.store.Snapshot(); body != nil {
+		var err error
+		img, err = wire.DecodeSnapshot(body)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	raw := p.store.WAL()
+	recs := make([]*wire.WALRecord, 0, len(raw))
+	for i, data := range raw {
+		rec, err := wire.DecodeRecord(data)
+		if err != nil {
+			// A record the store's CRC accepted but the codec rejects is
+			// corruption, not a torn tail.
+			return nil, nil, fmt.Errorf("wal record %d: %w", i, err)
+		}
+		recs = append(recs, rec)
+	}
+	return img, recs, nil
+}
+
+// Append implements Journal.
+func (p *Persist) Append(rec *wire.WALRecord) error {
+	if p.sticky != nil {
+		return p.sticky
+	}
+	data, err := wire.EncodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	if err := p.store.Append(data); err != nil {
+		return err
+	}
+	p.appended++
+	return nil
+}
+
+// Checkpoint implements Journal: a snapshot is taken once SnapshotEvery
+// records have accumulated since the last one.
+func (p *Persist) Checkpoint(build func() (*wire.SiteImage, error)) error {
+	if p.appended < p.opts.SnapshotEvery {
+		return nil
+	}
+	return p.ForceCheckpoint(build)
+}
+
+// ForceCheckpoint snapshots unconditionally and truncates the WAL.
+func (p *Persist) ForceCheckpoint(build func() (*wire.SiteImage, error)) error {
+	img, err := build()
+	if err == nil {
+		var data []byte
+		if data, err = wire.EncodeSnapshot(img); err == nil {
+			err = p.store.WriteSnapshot(data)
+		}
+	}
+	if err != nil {
+		if p.sticky == nil {
+			p.sticky = fmt.Errorf("site: checkpoint failed: %w", err)
+		}
+		return err
+	}
+	// A successful snapshot is a complete, consistent durable image:
+	// whatever failed before is superseded, so the journal un-wedges.
+	p.sticky = nil
+	p.appended = 0
+	return nil
+}
+
+// Store exposes the underlying store (stats, tests).
+func (p *Persist) Store() *persist.Store { return p.store }
+
+// Close closes the underlying store without snapshotting: a closed
+// journal is crash-equivalent by design; call ForceCheckpoint first for
+// a trimmed restart.
+func (p *Persist) Close() error { return p.store.Close() }
+
+var _ Journal = (*Persist)(nil)
+
+// --- Recovery ------------------------------------------------------------
+
+// Recover reconstructs a site from its journal and resumes the
+// protocol: load the latest snapshot, replay the WAL tail through the
+// regular operation and delivery paths (journaling suppressed — the
+// records are already durable), re-send the outbox's mutator frames
+// (receivers deduplicate via their introduction records), and run one
+// journaled Refresh so peers re-converge. A fresh journal yields a
+// fresh site with journaling enabled, so Recover doubles as the
+// persistent constructor.
+//
+// Replay is deterministic: operations re-mint the same identities from
+// the restored counters, deliveries re-apply in journaled order, and
+// every engine-clock-advancing entry point is itself journaled — which
+// is why a recovered site never re-issues an already-used stamp for a
+// new event (the unsafety that would let an old Ē mask a live edge).
+// Messages re-sent during replay are duplicates of pre-crash traffic:
+// GGD control messages are idempotent by merge, creations are dropped
+// as duplicates by the receiving heap, and reference transfers are
+// deduplicated by (introducer, forwarding-seq).
+//
+// Live traffic arriving during replay is buffered and processed (and
+// journaled) after the replay completes, so the WAL stays a total order
+// of the site's events.
+func Recover(id ids.SiteID, net netsim.Network, opts Options, j *Persist) (*Runtime, error) {
+	img, recs, err := j.Load()
+	if err != nil {
+		return nil, fmt.Errorf("site %v: recover: %w", id, err)
+	}
+	var r *Runtime
+	if img == nil {
+		r = newRuntime(id, net, opts)
+	} else {
+		if img.Site != id {
+			return nil, fmt.Errorf("site %v: recover: journal belongs to site %v", id, img.Site)
+		}
+		r, err = restoreRuntime(net, opts, img)
+		if err != nil {
+			return nil, fmt.Errorf("site %v: recover: %w", id, err)
+		}
+	}
+	r.journal = j
+	r.replaying = true
+	// Register before replay: frames from already-running peers buffer
+	// in recoverBuf instead of being dropped by the transport.
+	net.Register(id, r.handle)
+	for _, rec := range recs {
+		r.applyRecord(rec)
+	}
+	// End of replay: process the deliveries buffered meanwhile through
+	// the journaled path.
+	r.mu.Lock()
+	r.replaying = false
+	buffered := r.recoverBuf
+	r.recoverBuf = nil
+	resend := make([]outboundFrame, len(r.outbox))
+	copy(resend, r.outbox)
+	r.mu.Unlock()
+	for _, d := range buffered {
+		r.handle(d.from, d.p)
+	}
+	// Re-send the unconfirmed mutator frames: at-least-once delivery,
+	// deduplicated at the receivers.
+	for _, f := range resend {
+		net.Send(id, f.to, f.p)
+	}
+	// One refresh re-propagates the recovered GGD state so detection
+	// resumes without waiting for new mutator activity.
+	if err := r.Refresh(); err != nil {
+		return nil, fmt.Errorf("site %v: recover: %w", id, err)
+	}
+	return r, nil
+}
+
+// applyRecord replays one WAL record. Errors are ignored: a record that
+// failed when first applied fails identically on replay (replay
+// determinism), and a delivery can never fail.
+func (r *Runtime) applyRecord(rec *wire.WALRecord) {
+	switch {
+	case rec.Deliver != nil:
+		r.replayDeliver(rec.Deliver.From, rec.Deliver.Payload)
+	case rec.Op != nil:
+		op := rec.Op
+		switch op.Kind {
+		case wire.OpNewLocal:
+			_, _ = r.NewLocal(op.Holder)
+		case wire.OpNewLocalIn:
+			_, _ = r.NewLocalIn(op.Holder, op.Clu)
+		case wire.OpNewCluster:
+			_, _ = r.NewCluster()
+		case wire.OpNewRemote:
+			_, _ = r.NewRemote(op.Holder, op.Site)
+		case wire.OpSendRef:
+			_ = r.SendRef(op.Holder, op.To, op.Target)
+		case wire.OpAddRef:
+			_ = r.AddRef(op.Holder, op.Target)
+		case wire.OpDropRefs:
+			_ = r.DropRefs(op.Holder, op.Target)
+		case wire.OpClearSlot:
+			_ = r.ClearSlot(op.Holder, op.Slot)
+		case wire.OpCollect:
+			_, _ = r.Collect()
+		case wire.OpRefresh:
+			_ = r.Refresh()
+		}
+	}
+}
+
+// replayDeliver dispatches a journaled delivery, bypassing the
+// recoverBuf (which is for *live* traffic racing the replay).
+func (r *Runtime) replayDeliver(from ids.SiteID, p netsim.Payload) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dispatchLocked(from, p)
+}
+
+// restoreRuntime rebuilds a runtime from a snapshot image. It does not
+// register on the network; Recover does.
+func restoreRuntime(net netsim.Network, opts Options, img *wire.SiteImage) (*Runtime, error) {
+	r := &Runtime{
+		id:          img.Site,
+		net:         net,
+		opts:        opts,
+		pendingRefs: make(map[ids.ObjectID][]pendingRef),
+		seenIntro:   make(map[introKey]struct{}, len(img.SeenIntro)),
+		mint:        img.Mint,
+		removals:    img.Removals,
+	}
+	var err error
+	r.engine, err = core.Restore(img.Site, (*sender)(r), r.onRemove, opts.Engine, img.Engine)
+	if err != nil {
+		return nil, err
+	}
+	r.heap, err = heap.Restore((*hooks)(r), img.Heap)
+	if err != nil {
+		return nil, err
+	}
+	for _, pr := range img.PendingRefs {
+		r.pendingRefs[pr.Holder] = append(r.pendingRefs[pr.Holder], pendingRef{
+			target: pr.Target, intro: pr.Intro, introSeq: pr.IntroSeq,
+		})
+	}
+	for _, in := range img.SeenIntro {
+		r.seenIntro[introKey{intro: in.Intro, seq: in.Seq}] = struct{}{}
+	}
+	for _, f := range img.Outbox {
+		r.outbox = append(r.outbox, outboundFrame{to: f.To, p: f.Payload})
+	}
+	return r, nil
+}
+
+// exportImageLocked renders the runtime's full state. Caller holds
+// r.mu at a quiescent point (engine drained).
+func (r *Runtime) exportImageLocked() (*wire.SiteImage, error) {
+	eng, err := r.engine.Export()
+	if err != nil {
+		return nil, err
+	}
+	img := &wire.SiteImage{
+		Site:     r.id,
+		Mint:     r.mint,
+		Removals: r.removals,
+		Heap:     r.heap.Export(),
+		Engine:   eng,
+	}
+	for _, holder := range sortedObjectKeys(r.pendingRefs) {
+		for _, pr := range r.pendingRefs[holder] {
+			img.PendingRefs = append(img.PendingRefs, wire.PendingRefImage{
+				Holder: holder, Target: pr.target, Intro: pr.intro, IntroSeq: pr.introSeq,
+			})
+		}
+	}
+	for k := range r.seenIntro {
+		img.SeenIntro = append(img.SeenIntro, wire.IntroImage{Intro: k.intro, Seq: k.seq})
+	}
+	sortIntros(img.SeenIntro)
+	for _, f := range r.outbox {
+		img.Outbox = append(img.Outbox, wire.FrameImage{To: f.to, Payload: f.p})
+	}
+	return img, nil
+}
+
+// Checkpoint forces a snapshot now (and truncates the WAL). A no-op
+// without a journal.
+func (r *Runtime) Checkpoint() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.journal.(*Persist)
+	if !ok || p == nil {
+		return nil
+	}
+	return p.ForceCheckpoint(r.exportImageLocked)
+}
+
+func sortedObjectKeys(m map[ids.ObjectID][]pendingRef) []ids.ObjectID {
+	out := make([]ids.ObjectID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	ids.SortObjects(out)
+	return out
+}
+
+// sortIntros uses sort.Slice, not the ids-package insertion sorts:
+// seenIntro grows to maxSeenIntro (64k) entries on long-lived sites,
+// and this runs under the runtime mutex at every snapshot.
+func sortIntros(in []wire.IntroImage) {
+	sort.Slice(in, func(i, j int) bool {
+		if in[i].Intro != in[j].Intro {
+			return in[i].Intro.Less(in[j].Intro)
+		}
+		return in[i].Seq < in[j].Seq
+	})
+}

@@ -60,6 +60,38 @@ type pendingRef struct {
 	introSeq uint64
 }
 
+// introKey identifies one forwarding of a reference: the introducing
+// cluster and its forwarding sequence number. Forwarding seqs are drawn
+// from the introducer's event clock, so the pair is globally unique.
+type introKey struct {
+	intro ids.ClusterID
+	seq   uint64
+}
+
+// outboundFrame is one sent mutator frame retained for recovery resend.
+type outboundFrame struct {
+	to ids.SiteID
+	p  netsim.Payload
+}
+
+// maxOutbox bounds the retained outbound mutator frames. Evicting an
+// old frame is loss-equivalent (the GGD plane tolerates loss; an
+// undelivered mutator frame costs at worst residual garbage, never
+// safety), so the bound trades recovery completeness for memory.
+const maxOutbox = 1024
+
+// maxSeenIntro bounds the receiver-side transfer dedup set. Evicting an
+// entry can at worst let a re-sent transfer be applied twice, which
+// adds a redundant slot — a leak risk, never a safety violation.
+const maxSeenIntro = 1 << 16
+
+// bufDelivery is one live delivery buffered while a recovery replay is
+// in progress.
+type bufDelivery struct {
+	from ids.SiteID
+	p    netsim.Payload
+}
+
 // Runtime is one site.
 type Runtime struct {
 	mu     sync.Mutex
@@ -76,20 +108,46 @@ type Runtime struct {
 	removals int
 	// mint numbers identities created by this site on behalf of others.
 	mint uint64
+
+	// journal, when non-nil, receives a durable record of every relevant
+	// event before it takes effect (write-ahead; see DESIGN.md §5).
+	journal Journal
+	// replaying suppresses journaling and buffers live deliveries while
+	// Recover replays the WAL.
+	replaying  bool
+	recoverBuf []bufDelivery
+	// seenIntro dedups received reference transfers by (introducer,
+	// forwarding-seq), making recovery resends idempotent.
+	seenIntro map[introKey]struct{}
+	// outbox retains recent outbound mutator frames for recovery resend
+	// (populated only when a journal is attached).
+	outbox []outboundFrame
+	// closed freezes the runtime: deliveries are dropped (tolerated
+	// loss) so introspection keeps answering from an unchanging state.
+	closed bool
 }
 
-// New creates a site runtime and registers it on the network.
+// New creates a site runtime and registers it on the network. For a
+// durable site use Recover, which attaches a journal and replays any
+// existing state.
 func New(id ids.SiteID, net netsim.Network, opts Options) *Runtime {
+	r := newRuntime(id, net, opts)
+	net.Register(id, r.handle)
+	return r
+}
+
+// newRuntime builds a fresh runtime without registering it.
+func newRuntime(id ids.SiteID, net netsim.Network, opts Options) *Runtime {
 	r := &Runtime{
 		id:          id,
 		net:         net,
 		opts:        opts,
 		pendingRefs: make(map[ids.ObjectID][]pendingRef),
+		seenIntro:   make(map[introKey]struct{}),
 	}
 	r.engine = core.New(id, (*sender)(r), r.onRemove, opts.Engine)
 	r.heap = heap.New(id, (*hooks)(r))
 	r.engine.Register(r.heap.RootCluster())
-	net.Register(id, r.handle)
 	return r
 }
 
@@ -156,10 +214,44 @@ func (r *Runtime) collectLocked() heap.CollectStats {
 	return stats
 }
 
+// Close freezes the runtime: deliveries still arriving from a shared
+// transport are dropped (tolerated loss) instead of mutating state, so
+// post-Close introspection reads a stable image. Mutator entry points
+// are gated by the owning Node.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+}
+
 // handle is the network delivery entry point.
 func (r *Runtime) handle(from ids.SiteID, p netsim.Payload) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	if r.replaying {
+		// A live delivery racing the recovery replay: buffered, then
+		// journaled and processed once the replay completes.
+		r.recoverBuf = append(r.recoverBuf, bufDelivery{from: from, p: p})
+		return
+	}
+	if r.journal != nil {
+		if err := r.journal.Append(&wire.WALRecord{Deliver: &wire.DeliverRecord{From: from, Payload: p}}); err != nil {
+			// An unjournalable delivery must not take effect: acting on it
+			// would desynchronise the replayable history from the messages
+			// this site sends. Dropping is safe — the protocol tolerates
+			// loss (§5).
+			return
+		}
+	}
+	r.dispatchLocked(from, p)
+	r.checkpointLocked()
+}
+
+// dispatchLocked applies one delivery. Caller holds r.mu.
+func (r *Runtime) dispatchLocked(_ ids.SiteID, p netsim.Payload) {
 	switch m := p.(type) {
 	case wire.Create:
 		r.handleCreate(m)
@@ -173,6 +265,40 @@ func (r *Runtime) handle(from ids.SiteID, p netsim.Payload) {
 		r.engine.HandleAssert(m.To, m.From, m.M)
 	}
 	r.settleLocked()
+}
+
+// journalOp durably records a mutator operation before it is applied.
+func (r *Runtime) journalOp(op wire.OpRecord) error {
+	if r.journal == nil || r.replaying {
+		return nil
+	}
+	if err := r.journal.Append(&wire.WALRecord{Op: &op}); err != nil {
+		return fmt.Errorf("site %v: journal %v: %w", r.id, op.Kind, err)
+	}
+	return nil
+}
+
+// checkpointLocked offers the journal a snapshot opportunity at a
+// quiescent point. Checkpoint failures are sticky inside the journal
+// (the next Append surfaces them); the completed operation itself is
+// already durable in the WAL.
+func (r *Runtime) checkpointLocked() {
+	if r.journal == nil || r.replaying {
+		return
+	}
+	_ = r.journal.Checkpoint(r.exportImageLocked)
+}
+
+// recordOutboundLocked retains a sent mutator frame for recovery
+// resend, evicting the oldest past maxOutbox.
+func (r *Runtime) recordOutboundLocked(to ids.SiteID, p netsim.Payload) {
+	if r.journal == nil {
+		return
+	}
+	if len(r.outbox) >= maxOutbox {
+		r.outbox = append(r.outbox[:0], r.outbox[1:]...)
+	}
+	r.outbox = append(r.outbox, outboundFrame{to: to, p: p})
 }
 
 func (r *Runtime) handleCreate(m wire.Create) {
@@ -190,6 +316,23 @@ func (r *Runtime) handleCreate(m wire.Create) {
 }
 
 func (r *Runtime) handleRefTransfer(m wire.RefTransfer) {
+	// Dedup by (introducer, forwarding-seq): forwarding seqs are unique
+	// per introducing cluster, so a re-sent transfer — a crashed sender
+	// re-playing its outbox, or a journaled delivery re-arriving after
+	// the sender's recovery — is applied exactly once.
+	if m.IntroSeq > 0 {
+		k := introKey{intro: m.FromCluster, seq: m.IntroSeq}
+		if _, dup := r.seenIntro[k]; dup {
+			return
+		}
+		if len(r.seenIntro) >= maxSeenIntro {
+			for old := range r.seenIntro {
+				delete(r.seenIntro, old)
+				break
+			}
+		}
+		r.seenIntro[k] = struct{}{}
+	}
 	if r.heap.Object(m.ToObj) == nil {
 		// The holder's creation message has not arrived yet (different
 		// sender): buffer and replay. If the holder was already collected,
@@ -231,6 +374,9 @@ func (r *Runtime) NewLocal(holder ids.ObjectID) (heap.Ref, error) {
 	if r.heap.Object(holder) == nil {
 		return heap.NilRef, fmt.Errorf("site %v: NewLocal holder %v: %w", r.id, holder, heap.ErrNoSuchObject)
 	}
+	if err := r.journalOp(wire.OpRecord{Kind: wire.OpNewLocal, Holder: holder}); err != nil {
+		return heap.NilRef, err
+	}
 	cl := r.heap.NewCluster()
 	r.engine.Register(cl)
 	o := r.heap.NewObject(cl)
@@ -239,6 +385,7 @@ func (r *Runtime) NewLocal(holder ids.ObjectID) (heap.Ref, error) {
 		return heap.NilRef, err
 	}
 	r.settleLocked()
+	r.checkpointLocked()
 	return ref, nil
 }
 
@@ -253,6 +400,9 @@ func (r *Runtime) NewLocalIn(holder ids.ObjectID, cl ids.ClusterID) (heap.Ref, e
 	if r.heap.Object(holder) == nil {
 		return heap.NilRef, fmt.Errorf("site %v: NewLocalIn holder %v: %w", r.id, holder, heap.ErrNoSuchObject)
 	}
+	if err := r.journalOp(wire.OpRecord{Kind: wire.OpNewLocalIn, Holder: holder, Clu: cl}); err != nil {
+		return heap.NilRef, err
+	}
 	r.engine.Register(cl)
 	o := r.heap.NewObject(cl)
 	ref := heap.Ref{Obj: o.ID(), Cluster: cl}
@@ -260,16 +410,21 @@ func (r *Runtime) NewLocalIn(holder ids.ObjectID, cl ids.ClusterID) (heap.Ref, e
 		return heap.NilRef, err
 	}
 	r.settleLocked()
+	r.checkpointLocked()
 	return ref, nil
 }
 
 // NewCluster mints a fresh local cluster identity (for NewLocalIn).
-func (r *Runtime) NewCluster() ids.ClusterID {
+func (r *Runtime) NewCluster() (ids.ClusterID, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.journalOp(wire.OpRecord{Kind: wire.OpNewCluster}); err != nil {
+		return ids.NoCluster, err
+	}
 	cl := r.heap.NewCluster()
 	r.engine.Register(cl)
-	return cl
+	r.checkpointLocked()
+	return cl, nil
 }
 
 // NewRemote creates an object in a fresh cluster on the target site,
@@ -286,6 +441,9 @@ func (r *Runtime) NewRemote(holder ids.ObjectID, target ids.SiteID) (heap.Ref, e
 	if target == r.id {
 		return heap.NilRef, fmt.Errorf("site %v: NewRemote: %w", r.id, ErrRemoteSelf)
 	}
+	if err := r.journalOp(wire.OpRecord{Kind: wire.OpNewRemote, Holder: holder, Site: target}); err != nil {
+		return heap.NilRef, err
+	}
 	r.mint++
 	obj := ids.ObjectID{Site: target, Seq: uint64(r.id)<<32 | r.mint}
 	cl := ids.ClusterID{Site: target, Seq: uint64(r.id)<<32 | r.mint}
@@ -299,13 +457,16 @@ func (r *Runtime) NewRemote(holder ids.ObjectID, target ids.SiteID) (heap.Ref, e
 		return heap.NilRef, err
 	}
 	stamp := r.engine.RemoteCreationStamp(ho.Cluster())
-	r.net.Send(r.id, target, wire.Create{
+	create := wire.Create{
 		Creator: ho.Cluster(),
 		Stamp:   stamp,
 		Obj:     obj,
 		Cluster: cl,
-	})
+	}
+	r.net.Send(r.id, target, create)
+	r.recordOutboundLocked(target, create)
 	r.settleLocked()
+	r.checkpointLocked()
 	return ref, nil
 }
 
@@ -325,6 +486,9 @@ func (r *Runtime) SendRef(fromObj ids.ObjectID, to heap.Ref, target heap.Ref) er
 	if !r.holds(fo, target) {
 		return fmt.Errorf("site %v: SendRef: %v of %v: %w", r.id, target, fromObj, ErrNotHolder)
 	}
+	if err := r.journalOp(wire.OpRecord{Kind: wire.OpSendRef, Holder: fromObj, To: to, Target: target}); err != nil {
+		return err
+	}
 	if to.Obj.Site == r.id {
 		if r.heap.Object(to.Obj) == nil {
 			return fmt.Errorf("site %v: SendRef to %v: %w", r.id, to.Obj, heap.ErrNoSuchObject)
@@ -332,6 +496,7 @@ func (r *Runtime) SendRef(fromObj ids.ObjectID, to heap.Ref, target heap.Ref) er
 		seq := r.engine.SentRef(fo.Cluster(), target.Cluster, to.Cluster)
 		_, err := r.heap.AddRefIntro(to.Obj, target, fo.Cluster(), seq)
 		r.settleLocked()
+		r.checkpointLocked()
 		return err
 	}
 	// Once a reference to a local object crosses the site boundary, the
@@ -343,13 +508,22 @@ func (r *Runtime) SendRef(fromObj ids.ObjectID, to heap.Ref, target heap.Ref) er
 	// Sender-side lazy log-keeping: DV_i[k][j]++ (or DV_i[i][j]++ when
 	// sending the holder's own cluster reference).
 	seq := r.engine.SentRef(fo.Cluster(), target.Cluster, to.Cluster)
-	r.net.Send(r.id, to.Obj.Site, wire.RefTransfer{
+	xfer := wire.RefTransfer{
 		FromCluster: fo.Cluster(),
 		IntroSeq:    seq,
 		ToObj:       to.Obj,
 		Target:      target,
-	})
+	}
+	r.net.Send(r.id, to.Obj.Site, xfer)
+	// Seq 0 frames (intra-cluster copies, stale holders) carry no
+	// dedup identity, so a recovery resend would apply them twice;
+	// they are excluded from the outbox — losing one to a crash is
+	// loss-equivalent, which the protocol tolerates.
+	if seq != 0 {
+		r.recordOutboundLocked(to.Obj.Site, xfer)
+	}
 	r.settleLocked()
+	r.checkpointLocked()
 	return nil
 }
 
@@ -369,8 +543,12 @@ func (r *Runtime) holds(o *heap.Object, target heap.Ref) bool {
 func (r *Runtime) AddRef(holder ids.ObjectID, target heap.Ref) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.journalOp(wire.OpRecord{Kind: wire.OpAddRef, Holder: holder, Target: target}); err != nil {
+		return err
+	}
 	_, err := r.heap.AddRef(holder, target)
 	r.settleLocked()
+	r.checkpointLocked()
 	return err
 }
 
@@ -379,8 +557,12 @@ func (r *Runtime) AddRef(holder ids.ObjectID, target heap.Ref) error {
 func (r *Runtime) DropRefs(holder ids.ObjectID, target heap.Ref) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.journalOp(wire.OpRecord{Kind: wire.OpDropRefs, Holder: holder, Target: target}); err != nil {
+		return err
+	}
 	err := r.heap.DropRefs(holder, target.Obj)
 	r.settleLocked()
+	r.checkpointLocked()
 	return err
 }
 
@@ -388,28 +570,44 @@ func (r *Runtime) DropRefs(holder ids.ObjectID, target heap.Ref) error {
 func (r *Runtime) ClearSlot(holder ids.ObjectID, slot int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.journalOp(wire.OpRecord{Kind: wire.OpClearSlot, Holder: holder, Slot: slot}); err != nil {
+		return err
+	}
 	err := r.heap.ClearSlot(holder, slot)
 	r.settleLocked()
+	r.checkpointLocked()
 	return err
 }
 
 // Collect runs local collections until no further GGD cascade fires.
-func (r *Runtime) Collect() heap.CollectStats {
+// Collections are journaled: sweeping the last proxy of a remote
+// cluster advances the engine clock and emits destruction messages, so
+// replay must reproduce them.
+func (r *Runtime) Collect() (heap.CollectStats, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.journalOp(wire.OpRecord{Kind: wire.OpCollect}); err != nil {
+		return heap.CollectStats{}, err
+	}
 	stats := r.collectLocked()
 	r.engine.Drain()
 	r.settleLocked()
-	return stats
+	r.checkpointLocked()
+	return stats, nil
 }
 
 // Refresh re-propagates every local process's vector: the recovery round
 // that re-detects residual garbage after message loss (§5).
-func (r *Runtime) Refresh() {
+func (r *Runtime) Refresh() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.journalOp(wire.OpRecord{Kind: wire.OpRefresh}); err != nil {
+		return err
+	}
 	r.engine.Refresh()
 	r.settleLocked()
+	r.checkpointLocked()
+	return nil
 }
 
 // --- Introspection -------------------------------------------------------

@@ -44,7 +44,10 @@ func TestSiteNewLocal(t *testing.T) {
 
 func TestSiteNewLocalIn(t *testing.T) {
 	_, s1, _ := twoSites(t)
-	cl := s1.NewCluster()
+	cl, err := s1.NewCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
 	a, err := s1.NewLocalIn(s1.Root().Obj, cl)
 	if err != nil {
 		t.Fatal(err)

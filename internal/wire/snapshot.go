@@ -1,0 +1,201 @@
+// Snapshot and WAL record types of the durability subsystem: the typed
+// layer between the site runtime and the byte-oriented persist.Store.
+//
+// A SiteImage is the full durable image of one site — heap, engine,
+// runtime bookkeeping and the bounded outbox of unconfirmed mutator
+// frames. A WALRecord is one relevant event appended between
+// snapshots: either a mutator operation (OpRecord) or an incoming
+// message delivery (DeliverRecord). Replaying the records against the
+// image deterministically reconstructs the site (see internal/site and
+// DESIGN.md §5).
+//
+// Encoding is gob: the same codec the TCP backend uses for frames, so
+// a snapshot can embed any payload a transport can carry.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"causalgc/internal/core"
+	"causalgc/internal/heap"
+	"causalgc/internal/ids"
+	"causalgc/internal/netsim"
+)
+
+// SnapshotVersion is bumped when SiteImage changes incompatibly; a
+// recovery over a mismatching version fails rather than misdecodes.
+const SnapshotVersion = 1
+
+// SiteImage is the full durable state of one site at a quiescent point.
+type SiteImage struct {
+	Version int
+	Site    ids.SiteID
+	// Mint numbers identities created on behalf of other sites.
+	Mint uint64
+	// Removals counts GGD removals since the last collection (non-zero
+	// only when AutoCollect is off).
+	Removals int
+	Heap     heap.Image
+	Engine   core.EngineImage
+	// PendingRefs are buffered reference transfers awaiting their
+	// holder's creation message.
+	PendingRefs []PendingRefImage
+	// SeenIntro is the receiver-side dedup record of processed reference
+	// transfers, keyed by (introducing cluster, forwarding seq): what
+	// makes re-sent mutator frames idempotent after a crash.
+	SeenIntro []IntroImage
+	// Outbox holds recent outbound mutator frames (bounded); recovery
+	// re-sends them, and receivers dedup via their own SeenIntro state.
+	Outbox []FrameImage
+}
+
+// PendingRefImage is one buffered reference transfer.
+type PendingRefImage struct {
+	Holder   ids.ObjectID
+	Target   heap.Ref
+	Intro    ids.ClusterID
+	IntroSeq uint64
+}
+
+// IntroImage identifies one processed introduction.
+type IntroImage struct {
+	Intro ids.ClusterID
+	Seq   uint64
+}
+
+// FrameImage is one outbound frame: destination site plus payload.
+type FrameImage struct {
+	To      ids.SiteID
+	Payload netsim.Payload
+}
+
+// WALRecord is one durable event. Exactly one field is set.
+type WALRecord struct {
+	Op      *OpRecord
+	Deliver *DeliverRecord
+}
+
+// OpKind enumerates journalled mutator operations.
+type OpKind uint8
+
+// The journalled mutator operations. Collect and Refresh are included
+// because both bump engine clocks (sweep-triggered edge destructions,
+// removal cascades): every clock-advancing entry point must be in the
+// WAL or replay would re-issue already-used stamps for new events.
+const (
+	OpNewLocal OpKind = iota + 1
+	OpNewLocalIn
+	OpNewCluster
+	OpNewRemote
+	OpSendRef
+	OpAddRef
+	OpDropRefs
+	OpClearSlot
+	OpCollect
+	OpRefresh
+)
+
+// String names the op kind for diagnostics.
+func (k OpKind) String() string {
+	switch k {
+	case OpNewLocal:
+		return "NewLocal"
+	case OpNewLocalIn:
+		return "NewLocalIn"
+	case OpNewCluster:
+		return "NewCluster"
+	case OpNewRemote:
+		return "NewRemote"
+	case OpSendRef:
+		return "SendRef"
+	case OpAddRef:
+		return "AddRef"
+	case OpDropRefs:
+		return "DropRefs"
+	case OpClearSlot:
+		return "ClearSlot"
+	case OpCollect:
+		return "Collect"
+	case OpRefresh:
+		return "Refresh"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// OpRecord is one mutator operation with its arguments. Results (minted
+// identities) are not recorded: they are deterministic functions of the
+// restored counters, so replay re-mints them identically.
+type OpRecord struct {
+	Kind   OpKind
+	Holder ids.ObjectID  // NewLocal, NewLocalIn, NewRemote, SendRef (sender), AddRef, DropRefs, ClearSlot
+	Site   ids.SiteID    // NewRemote target site
+	Clu    ids.ClusterID // NewLocalIn cluster
+	To     heap.Ref      // SendRef destination
+	Target heap.Ref      // SendRef, AddRef, DropRefs target
+	Slot   int           // ClearSlot index
+}
+
+// DeliverRecord is one incoming message delivery.
+type DeliverRecord struct {
+	From    ids.SiteID
+	Payload netsim.Payload
+}
+
+func init() {
+	// The concrete payload types carried behind netsim.Payload fields.
+	// gob.Register tolerates re-registration of identical types, so this
+	// coexists with transport/tcp's registrations.
+	gob.Register(Create{})
+	gob.Register(RefTransfer{})
+	gob.Register(Destroy{})
+	gob.Register(Assert{})
+	gob.Register(Propagate{})
+}
+
+// EncodeSnapshot renders a SiteImage for persist.Store.WriteSnapshot.
+func EncodeSnapshot(img *SiteImage) ([]byte, error) {
+	img.Version = SnapshotVersion
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return nil, fmt.Errorf("wire: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot parses a snapshot body.
+func DecodeSnapshot(data []byte) (*SiteImage, error) {
+	var img SiteImage
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("wire: decode snapshot: %w", err)
+	}
+	if img.Version != SnapshotVersion {
+		return nil, fmt.Errorf("wire: snapshot version %d, want %d", img.Version, SnapshotVersion)
+	}
+	return &img, nil
+}
+
+// EncodeRecord renders a WALRecord for persist.Store.Append.
+func EncodeRecord(rec *WALRecord) ([]byte, error) {
+	if (rec.Op == nil) == (rec.Deliver == nil) {
+		return nil, fmt.Errorf("wire: record must set exactly one of Op/Deliver")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, fmt.Errorf("wire: encode record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRecord parses one WAL record.
+func DecodeRecord(data []byte) (*WALRecord, error) {
+	var rec WALRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("wire: decode record: %w", err)
+	}
+	if (rec.Op == nil) == (rec.Deliver == nil) {
+		return nil, fmt.Errorf("wire: record sets neither or both of Op/Deliver")
+	}
+	return &rec, nil
+}

@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"testing"
+
+	"causalgc/internal/core"
+	"causalgc/internal/heap"
+	"causalgc/internal/ids"
+	"causalgc/internal/vclock"
+)
+
+func sampleImage() *SiteImage {
+	cl2 := ids.ClusterID{Site: 2, Seq: 7}
+	cl3 := ids.ClusterID{Site: 3, Seq: 9}
+	root := ids.ClusterID{Site: 2, Seq: 1, Root: true}
+	obj := ids.ObjectID{Site: 2, Seq: 4}
+	return &SiteImage{
+		Site:     2,
+		Mint:     13,
+		Removals: 1,
+		Heap: heap.Image{
+			Site:        2,
+			RootCluster: root,
+			RootObject:  ids.ObjectID{Site: 2, Seq: 1},
+			NextObj:     5,
+			NextClu:     8,
+			Objects: []ObjectImageAlias{
+				{ID: ids.ObjectID{Site: 2, Seq: 1}, Cluster: root},
+				{ID: obj, Cluster: cl2, Slots: []heap.Ref{{Obj: ids.ObjectID{Site: 3, Seq: 2}, Cluster: cl3}}},
+			},
+			Clusters: []heap.ClusterImage{
+				{ID: root, Entries: []ids.ObjectID{{Site: 2, Seq: 1}}},
+				{ID: cl2, Entries: []ids.ObjectID{obj}, Removed: false},
+			},
+			Edges: []heap.EdgeImage{{From: cl2, To: cl3, Count: 1}},
+		},
+		Engine: core.EngineImage{
+			Procs: []core.ProcImage{{
+				ID:     cl2,
+				Clock:  17,
+				Active: true,
+				Acq:    []ids.ClusterID{cl3},
+				Log: vclock.LogImage{
+					Own:         vclock.Vector{root: vclock.At(3), cl3: vclock.Eps(5)},
+					HintPending: map[ids.ClusterID]vclock.Vector{cl3: {root: vclock.At(2)}},
+					HintCleared: map[ids.ClusterID]vclock.Vector{cl3: {root: vclock.At(1)}},
+					VRows: map[ids.ClusterID]vclock.VRowImage{
+						cl3: {Auth: vclock.Vector{cl2: vclock.At(9)}, HintCols: []ids.ClusterID{root}, Confirmed: true},
+					},
+					OBs: map[ids.ClusterID]vclock.OBImage{
+						cl3: {Auth: vclock.Vector{cl2: vclock.At(9)}, Hints: vclock.Vector{root: vclock.At(4)}, Processed: vclock.Vector{root: vclock.At(2)}},
+					},
+				},
+			}},
+			Tombstones: map[ids.ClusterID]uint64{{Site: 2, Seq: 3}: 21},
+			Pending: []core.PendingImage{{
+				To: cl2, From: cl3, Kind: 1,
+				Destroy: core.DestroyMsg{Auth: vclock.Vector{cl3: vclock.Eps(6)}},
+			}},
+		},
+		PendingRefs: []PendingRefImage{{
+			Holder: ids.ObjectID{Site: 2, Seq: 99}, Target: heap.Ref{Obj: obj, Cluster: cl2}, Intro: cl3, IntroSeq: 11,
+		}},
+		SeenIntro: []IntroImage{{Intro: cl3, Seq: 11}},
+		Outbox: []FrameImage{
+			{To: 3, Payload: Create{Creator: cl2, Stamp: 17, Obj: ids.ObjectID{Site: 3, Seq: 40}, Cluster: ids.ClusterID{Site: 3, Seq: 40}}},
+			{To: 3, Payload: RefTransfer{FromCluster: cl2, IntroSeq: 12, ToObj: ids.ObjectID{Site: 3, Seq: 2}, Target: heap.Ref{Obj: obj, Cluster: cl2}}},
+		},
+	}
+}
+
+// ObjectImageAlias keeps the sample readable while exercising the real
+// type.
+type ObjectImageAlias = heap.ObjectImage
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	img := sampleImage()
+	data, err := EncodeSnapshot(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != SnapshotVersion || got.Site != 2 || got.Mint != 13 || got.Removals != 1 {
+		t.Fatalf("header fields: %+v", got)
+	}
+	if len(got.Heap.Objects) != 2 || got.Heap.NextClu != 8 || got.Heap.Objects[1].Slots[0] != img.Heap.Objects[1].Slots[0] {
+		t.Fatalf("heap image mismatch: %+v", got.Heap)
+	}
+	if len(got.Engine.Procs) != 1 {
+		t.Fatalf("engine procs: %+v", got.Engine.Procs)
+	}
+	p := got.Engine.Procs[0]
+	if p.Clock != 17 || !p.Active || len(p.Acq) != 1 {
+		t.Fatalf("proc mismatch: %+v", p)
+	}
+	if !p.Log.Own.Equal(img.Engine.Procs[0].Log.Own) {
+		t.Fatalf("own vector mismatch: %v vs %v", p.Log.Own, img.Engine.Procs[0].Log.Own)
+	}
+	row := p.Log.VRows[ids.ClusterID{Site: 3, Seq: 9}]
+	if !row.Confirmed || !row.Auth.Equal(vclock.Vector{{Site: 2, Seq: 7}: vclock.At(9)}) {
+		t.Fatalf("vrow mismatch: %+v", row)
+	}
+	if len(got.Engine.Pending) != 1 || got.Engine.Pending[0].Kind != 1 {
+		t.Fatalf("pending mismatch: %+v", got.Engine.Pending)
+	}
+	if got.Engine.Tombstones[ids.ClusterID{Site: 2, Seq: 3}] != 21 {
+		t.Fatalf("tombstones mismatch: %+v", got.Engine.Tombstones)
+	}
+	if len(got.SeenIntro) != 1 || got.SeenIntro[0].Seq != 11 {
+		t.Fatalf("seenIntro mismatch: %+v", got.SeenIntro)
+	}
+	if len(got.Outbox) != 2 {
+		t.Fatalf("outbox mismatch: %+v", got.Outbox)
+	}
+	if c, ok := got.Outbox[0].Payload.(Create); !ok || c.Stamp != 17 {
+		t.Fatalf("outbox[0] payload mismatch: %#v", got.Outbox[0].Payload)
+	}
+	if r, ok := got.Outbox[1].Payload.(RefTransfer); !ok || r.IntroSeq != 12 {
+		t.Fatalf("outbox[1] payload mismatch: %#v", got.Outbox[1].Payload)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	cl2 := ids.ClusterID{Site: 2, Seq: 7}
+	recs := []*WALRecord{
+		{Op: &OpRecord{Kind: OpNewRemote, Holder: ids.ObjectID{Site: 1, Seq: 1}, Site: 2}},
+		{Op: &OpRecord{Kind: OpSendRef, Holder: ids.ObjectID{Site: 1, Seq: 2},
+			To:     heap.Ref{Obj: ids.ObjectID{Site: 3, Seq: 1}, Cluster: ids.ClusterID{Site: 3, Seq: 1}},
+			Target: heap.Ref{Obj: ids.ObjectID{Site: 2, Seq: 4}, Cluster: cl2}}},
+		{Op: &OpRecord{Kind: OpClearSlot, Holder: ids.ObjectID{Site: 1, Seq: 1}, Slot: 3}},
+		{Op: &OpRecord{Kind: OpCollect}},
+		{Deliver: &DeliverRecord{From: 3, Payload: Assert{From: ids.ClusterID{Site: 3, Seq: 2}, To: cl2, M: coreAssert()}}},
+		{Deliver: &DeliverRecord{From: 1, Payload: Create{Creator: ids.ClusterID{Site: 1, Seq: 1, Root: true}, Stamp: 2, Obj: ids.ObjectID{Site: 2, Seq: 9}, Cluster: ids.ClusterID{Site: 2, Seq: 9}}}},
+	}
+	for i, rec := range recs {
+		data, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		got, err := DecodeRecord(data)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		switch {
+		case rec.Op != nil:
+			if got.Op == nil || *got.Op != *rec.Op {
+				t.Fatalf("record %d: got %+v want %+v", i, got.Op, rec.Op)
+			}
+		case rec.Deliver != nil:
+			if got.Deliver == nil || got.Deliver.From != rec.Deliver.From {
+				t.Fatalf("record %d: got %+v want %+v", i, got.Deliver, rec.Deliver)
+			}
+			if got.Deliver.Payload.Kind() != rec.Deliver.Payload.Kind() {
+				t.Fatalf("record %d: payload kind %q want %q", i, got.Deliver.Payload.Kind(), rec.Deliver.Payload.Kind())
+			}
+		}
+	}
+}
+
+func coreAssert() (m core.AssertMsg) {
+	m.Stamp = 5
+	m.Intro = ids.ClusterID{Site: 1, Seq: 1, Root: true}
+	m.IntroSeq = 4
+	return m
+}
+
+func TestRecordValidation(t *testing.T) {
+	if _, err := EncodeRecord(&WALRecord{}); err == nil {
+		t.Error("empty record encoded")
+	}
+	if _, err := EncodeRecord(&WALRecord{Op: &OpRecord{Kind: OpCollect}, Deliver: &DeliverRecord{From: 1, Payload: Create{}}}); err == nil {
+		t.Error("double record encoded")
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	img := sampleImage()
+	snap, err := EncodeSnapshot(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(snap[:len(snap)/2]); err == nil {
+		t.Error("truncated snapshot decoded")
+	}
+	rec, err := EncodeRecord(&WALRecord{Op: &OpRecord{Kind: OpCollect}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRecord(rec[:len(rec)-1]); err == nil {
+		t.Error("truncated record decoded")
+	}
+	if _, err := DecodeSnapshot(nil); err == nil {
+		t.Error("empty snapshot decoded")
+	}
+}

@@ -1,6 +1,8 @@
 package causalgc
 
 import (
+	"fmt"
+
 	"causalgc/internal/site"
 	"causalgc/transport"
 )
@@ -10,8 +12,11 @@ import (
 type Option func(*config)
 
 type config struct {
-	site site.Options
-	tr   transport.Transport
+	site          site.Options
+	tr            transport.Transport
+	persistDir    string
+	snapshotEvery int
+	noSync        bool
 }
 
 func newConfig(opts []Option) config {
@@ -42,9 +47,39 @@ func WithTransport(t transport.Transport) Option {
 }
 
 // WithObserver installs a metrics observer. Callbacks run under the
-// node's internal lock and must not call back into the Node.
+// node's internal lock and must not call back into the Node. After a
+// crash recovery the observer sees replayed events again (removals and
+// collections re-fire during the WAL replay).
 func WithObserver(o Observer) Option {
 	return func(c *config) { c.site.Observer = o }
+}
+
+// WithPersistence makes the node durable: every relevant mutator and
+// GGD event is appended to a write-ahead log under dir before it takes
+// effect, and the full site image is snapshotted periodically (the log
+// is truncated at each snapshot). A node killed at any instant is
+// reconstructed by Recover over the same directory. One directory
+// serves exactly one site; NewCluster derives a per-site subdirectory.
+//
+// Prefer Recover as the constructor for persistent nodes — it both
+// starts fresh directories and resumes existing ones, and it reports
+// I/O errors instead of panicking.
+func WithPersistence(dir string) Option {
+	return func(c *config) { c.persistDir = dir }
+}
+
+// WithSnapshotEvery tunes how many WAL records accumulate between
+// snapshots (default 1024). Smaller values bound recovery replay time;
+// larger values reduce snapshot I/O.
+func WithSnapshotEvery(records int) Option {
+	return func(c *config) { c.snapshotEvery = records }
+}
+
+// WithNoSync disables fsync on the persistence layer: much faster, but
+// an OS crash may lose the unsynced WAL tail (a process crash may not).
+// Reserved for simulation and benchmarks.
+func WithNoSync() Option {
+	return func(c *config) { c.noSync = true }
 }
 
 // Node is one causalgc site: a heap, a local collector and a GGD engine,
@@ -60,18 +95,34 @@ func WithObserver(o Observer) Option {
 // root object (Root) whose slots are the application's named references —
 // anything unreachable from the union of all roots is garbage and will be
 // detected, distributed cycles included.
+//
+// After Close, mutator and collection operations return ErrNodeClosed;
+// read-only introspection keeps answering from the frozen state.
 type Node struct {
 	rt    *site.Runtime
 	tr    transport.Transport
 	ownTr bool
+	pst   *site.Persist
+
+	gate closeGate
 }
 
 // NewNode creates a node for site id and registers it on its transport.
 // Without WithTransport the node runs over a private concurrent
 // in-memory transport, which makes a standalone node self-contained;
 // multi-site systems share one transport via NewCluster or WithTransport.
+//
+// With WithPersistence, NewNode delegates to Recover and panics on a
+// persistence I/O error; call Recover directly to handle the error.
 func NewNode(id SiteID, opts ...Option) *Node {
 	c := newConfig(opts)
+	if c.persistDir != "" {
+		n, err := Recover(id, opts...)
+		if err != nil {
+			panic(fmt.Sprintf("causalgc: NewNode(%v): %v (use Recover to handle persistence errors)", id, err))
+		}
+		return n
+	}
 	ownTr := false
 	if c.tr == nil {
 		c.tr = transport.NewAsync(transport.Faults{})
@@ -80,20 +131,72 @@ func NewNode(id SiteID, opts ...Option) *Node {
 	return &Node{rt: site.New(id, c.tr, c.site), tr: c.tr, ownTr: ownTr}
 }
 
+// Recover builds a durable node from its WithPersistence directory:
+// an empty directory starts a fresh journaled node; an existing one is
+// reconstructed — latest snapshot loaded, WAL tail replayed, unconfirmed
+// mutator frames re-sent (receivers deduplicate them), and one Refresh
+// round run so the cluster re-converges. Recovery needs no new wire
+// messages: everything it re-sends is idempotent under the protocol's
+// stamp ordering.
+func Recover(id SiteID, opts ...Option) (*Node, error) {
+	c := newConfig(opts)
+	if c.persistDir == "" {
+		return nil, fmt.Errorf("causalgc: Recover(%v): WithPersistence directory required", id)
+	}
+	ownTr := false
+	if c.tr == nil {
+		c.tr = transport.NewAsync(transport.Faults{})
+		ownTr = true
+	}
+	pst, err := site.OpenPersist(c.persistDir, site.PersistOptions{
+		SnapshotEvery: c.snapshotEvery,
+		Store:         persistStoreOptions(c),
+	})
+	if err != nil {
+		if ownTr {
+			closeTransport(c.tr)
+		}
+		return nil, err
+	}
+	rt, err := site.Recover(id, c.tr, c.site, pst)
+	if err != nil {
+		pst.Close()
+		if ownTr {
+			closeTransport(c.tr)
+		}
+		return nil, err
+	}
+	return &Node{rt: rt, tr: c.tr, ownTr: ownTr, pst: pst}, nil
+}
+
 // ID returns the node's site identifier.
 func (n *Node) ID() SiteID { return n.rt.ID() }
 
 // Transport returns the transport the node is registered on.
 func (n *Node) Transport() transport.Transport { return n.tr }
 
-// Close releases the node's resources: the private transport is closed
-// (and its goroutines joined) if the node owns one. A node attached via
-// WithTransport leaves the shared transport untouched.
+// Close releases the node's resources: the persistence journal is
+// closed (crash-equivalent — no final snapshot is forced; call
+// Checkpoint first for a trimmed restart), and the private transport is
+// closed (goroutines joined) if the node owns one. A node attached via
+// WithTransport leaves the shared transport untouched. Operations
+// concurrent with Close either complete before it or return
+// ErrNodeClosed after it; Close is idempotent.
 func (n *Node) Close() error {
-	if !n.ownTr {
+	if !n.gate.close() {
 		return nil
 	}
-	return closeTransport(n.tr)
+	n.rt.Close() // freeze: drop further deliveries from shared transports
+	var err error
+	if n.pst != nil {
+		err = n.pst.Close()
+	}
+	if n.ownTr {
+		if terr := closeTransport(n.tr); err == nil {
+			err = terr
+		}
+	}
+	return err
 }
 
 // closeTransport closes a transport if it supports closing.
@@ -113,21 +216,41 @@ func (n *Node) Root() Ref { return n.rt.Root() }
 
 // NewLocal creates an object in a fresh cluster on this node, referenced
 // from holder (often the root object).
-func (n *Node) NewLocal(holder ObjectID) (Ref, error) { return n.rt.NewLocal(holder) }
+func (n *Node) NewLocal(holder ObjectID) (Ref, error) {
+	if err := n.gate.enter(); err != nil {
+		return NilRef, err
+	}
+	defer n.gate.exit()
+	return n.rt.NewLocal(holder)
+}
 
 // NewLocalIn creates an object in an existing local cluster, referenced
 // from holder: the coarse clustering granularity of the paper's §3.5.
 func (n *Node) NewLocalIn(holder ObjectID, cl ClusterID) (Ref, error) {
+	if err := n.gate.enter(); err != nil {
+		return NilRef, err
+	}
+	defer n.gate.exit()
 	return n.rt.NewLocalIn(holder, cl)
 }
 
 // NewClusterID mints a fresh local cluster identity for NewLocalIn.
-func (n *Node) NewClusterID() ClusterID { return n.rt.NewCluster() }
+func (n *Node) NewClusterID() (ClusterID, error) {
+	if err := n.gate.enter(); err != nil {
+		return ClusterID{}, err
+	}
+	defer n.gate.exit()
+	return n.rt.NewCluster()
+}
 
 // NewRemote creates an object on the target site, referenced from
 // holder. The caller mints the identities, so no round-trip is needed;
 // the returned reference is usable immediately.
 func (n *Node) NewRemote(holder ObjectID, target SiteID) (Ref, error) {
+	if err := n.gate.enter(); err != nil {
+		return NilRef, err
+	}
+	defer n.gate.exit()
 	return n.rt.NewRemote(holder, target)
 }
 
@@ -137,25 +260,69 @@ func (n *Node) NewRemote(holder ObjectID, target SiteID) (Ref, error) {
 // synchronous control traffic is added in any case (the paper's lazy
 // log-keeping).
 func (n *Node) SendRef(fromObj ObjectID, to, target Ref) error {
+	if err := n.gate.enter(); err != nil {
+		return err
+	}
+	defer n.gate.exit()
 	return n.rt.SendRef(fromObj, to, target)
 }
 
 // AddRef stores target into a new slot of holder (a local mutation).
-func (n *Node) AddRef(holder ObjectID, target Ref) error { return n.rt.AddRef(holder, target) }
+func (n *Node) AddRef(holder ObjectID, target Ref) error {
+	if err := n.gate.enter(); err != nil {
+		return err
+	}
+	defer n.gate.exit()
+	return n.rt.AddRef(holder, target)
+}
 
 // DropRefs clears every slot of holder referencing target's object.
-func (n *Node) DropRefs(holder ObjectID, target Ref) error { return n.rt.DropRefs(holder, target) }
+func (n *Node) DropRefs(holder ObjectID, target Ref) error {
+	if err := n.gate.enter(); err != nil {
+		return err
+	}
+	defer n.gate.exit()
+	return n.rt.DropRefs(holder, target)
+}
 
 // ClearSlot drops one slot of holder.
-func (n *Node) ClearSlot(holder ObjectID, slot int) error { return n.rt.ClearSlot(holder, slot) }
+func (n *Node) ClearSlot(holder ObjectID, slot int) error {
+	if err := n.gate.enter(); err != nil {
+		return err
+	}
+	defer n.gate.exit()
+	return n.rt.ClearSlot(holder, slot)
+}
 
 // Collect runs local collections until no further GGD cascade fires, and
 // returns the first collection's statistics.
-func (n *Node) Collect() CollectStats { return n.rt.Collect() }
+func (n *Node) Collect() (CollectStats, error) {
+	if err := n.gate.enter(); err != nil {
+		return CollectStats{}, err
+	}
+	defer n.gate.exit()
+	return n.rt.Collect()
+}
 
 // Refresh re-propagates the node's dependency vectors: the recovery
 // round that re-detects residual garbage after control-message loss.
-func (n *Node) Refresh() { n.rt.Refresh() }
+func (n *Node) Refresh() error {
+	if err := n.gate.enter(); err != nil {
+		return err
+	}
+	defer n.gate.exit()
+	return n.rt.Refresh()
+}
+
+// Checkpoint forces a snapshot of the node's durable state now,
+// truncating the write-ahead log. A no-op without WithPersistence.
+func (n *Node) Checkpoint() error {
+	if err := n.gate.enter(); err != nil {
+		return err
+	}
+	defer n.gate.exit()
+	return n.rt.Checkpoint()
+}
 
 // NumObjects returns the number of live heap objects on this node
 // (including the root object).

@@ -18,6 +18,7 @@ package tcp
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
@@ -76,15 +77,35 @@ type Network struct {
 	cfg   Config
 	ln    net.Listener
 	stats *transport.Stats
+	// ctx is cancelled by Close: it aborts in-flight dials and backoff
+	// sleeps promptly, so a dead peer cannot hold a reconnect goroutine
+	// past Close.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu      sync.Mutex
 	peers   map[ids.SiteID]string // site → dial address (from cfg + SetPeer)
 	inboxes map[ids.SiteID]*inbox // locally hosted sites
+	// early buffers frames that arrive for a site before it registers:
+	// the listener is up before the process finishes constructing (or
+	// recovering) its sites, and a fast peer can land a frame in that
+	// window. Bounded per site; flushed in order on Register.
+	early   map[ids.SiteID][]delivery
 	writers map[string]*writer    // peer address → connection writer
 	conns   map[net.Conn]struct{} // accepted (inbound) connections
 	closed  bool
 	wg      sync.WaitGroup
 }
+
+// maxEarly bounds the frames buffered per not-yet-registered site and
+// maxEarlySites the distinct site IDs buffered for; overflow is
+// dropped (tolerated loss). The site bound keeps stale routing — a
+// peer persistently addressing sites this process never hosts — from
+// growing the map without limit.
+const (
+	maxEarly      = 256
+	maxEarlySites = 16
+)
 
 var _ transport.Transport = (*Network)(nil)
 
@@ -101,12 +122,16 @@ func New(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcp: listen %s: %w", cfg.Listen, err)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	n := &Network{
 		cfg:     cfg,
 		ln:      ln,
 		stats:   transport.NewStats(),
+		ctx:     ctx,
+		cancel:  cancel,
 		peers:   make(map[ids.SiteID]string, len(cfg.Peers)),
 		inboxes: make(map[ids.SiteID]*inbox),
+		early:   make(map[ids.SiteID][]delivery),
 		writers: make(map[string]*writer),
 		conns:   make(map[net.Conn]struct{}),
 	}
@@ -138,6 +163,12 @@ func (n *Network) Register(site ids.SiteID, h transport.Handler) {
 	}
 	in := newInbox(h)
 	n.inboxes[site] = in
+	// Flush frames that raced the registration, in arrival order, before
+	// any new frame can reach the inbox (both paths hold n.mu).
+	for _, d := range n.early[site] {
+		in.enqueue(d)
+	}
+	delete(n.early, site)
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -202,6 +233,7 @@ func (n *Network) Close() error {
 		return nil
 	}
 	n.closed = true
+	n.cancel() // abort in-flight dials and reconnect backoffs
 	err := n.ln.Close()
 	ins := make([]*inbox, 0, len(n.inboxes))
 	for _, in := range n.inboxes {
@@ -213,6 +245,12 @@ func (n *Network) Close() error {
 	}
 	for c := range n.conns {
 		c.Close()
+	}
+	for site, ds := range n.early {
+		for _, d := range ds {
+			n.stats.RecordDropped(d.p)
+		}
+		delete(n.early, site)
 	}
 	n.mu.Unlock()
 
@@ -274,9 +312,19 @@ func (n *Network) readLoop(conn net.Conn) {
 		}
 		n.mu.Lock()
 		in := n.inboxes[env.To]
+		if in == nil && !n.closed {
+			q, known := n.early[env.To]
+			if (known || len(n.early) < maxEarlySites) && len(q) < maxEarly {
+				// The site has not registered yet (process still starting
+				// or recovering): buffer until it does.
+				n.early[env.To] = append(q, delivery{from: env.From, p: env.Payload})
+				n.mu.Unlock()
+				continue
+			}
+		}
 		n.mu.Unlock()
 		if in == nil || !in.enqueue(delivery{from: env.From, p: env.Payload}) {
-			// A frame for a site this process does not host (stale
+			// Buffer overflow (a site this process never hosts — stale
 			// routing) or delivered after Close: lost, which the
 			// protocol tolerates.
 			n.stats.RecordDropped(env.Payload)
@@ -467,9 +515,14 @@ func (w *writer) ensureConn(backoff *time.Duration) net.Conn {
 		}
 		w.mu.Unlock()
 
-		conn, err := net.DialTimeout("tcp", w.addr, w.net.cfg.DialTimeout)
+		// DialContext bounds the attempt by the configured dial timeout
+		// and aborts it the moment the transport closes.
+		dialer := net.Dialer{Timeout: w.net.cfg.DialTimeout}
+		conn, err := dialer.DialContext(w.net.ctx, "tcp", w.addr)
 		if err != nil {
-			time.Sleep(*backoff)
+			if !w.sleep(*backoff) {
+				return nil
+			}
 			if *backoff *= 2; *backoff > w.net.cfg.MaxBackoff {
 				*backoff = w.net.cfg.MaxBackoff
 			}
@@ -485,6 +538,19 @@ func (w *writer) ensureConn(backoff *time.Duration) net.Conn {
 		w.conn = conn
 		w.mu.Unlock()
 		return conn
+	}
+}
+
+// sleep waits out one backoff interval, returning early (false) when
+// the transport closes.
+func (w *writer) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-w.net.ctx.Done():
+		return false
 	}
 }
 

@@ -164,3 +164,43 @@ func TestReconnect(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestClosePromptWithDeadPeer: a writer stuck in its dial/backoff loop
+// against a dead peer must not hold Close up — the cancelled dial and
+// interruptible backoff release the goroutine immediately.
+func TestClosePromptWithDeadPeer(t *testing.T) {
+	// Reserve a port, then close it: nothing listens there, so every
+	// dial fails and the writer lives in its reconnect loop.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	netA, err := tcp.New(tcp.Config{
+		Listen:      "127.0.0.1:0",
+		Peers:       map[causalgc.SiteID]string{2: deadAddr},
+		DialTimeout: 30 * time.Second, // a dial that would block far past the test
+		MaxBackoff:  30 * time.Second, // a backoff sleep that would too
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := causalgc.NewNode(1, causalgc.WithTransport(netA))
+	if _, err := n1.NewRemote(n1.Root().Obj, 2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the writer enter its loop
+
+	done := make(chan error, 1)
+	go func() { done <- netA.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked behind the reconnect loop")
+	}
+}
