@@ -270,17 +270,36 @@ func e8Run(drop float64) (residual, recovered, dangling int) {
 	return residual, recovered, dangling
 }
 
-// E9 exercises the durability subsystem's crash-recovery guarantee:
-// randomised churn over durable sites (write-ahead log + snapshots,
-// DESIGN.md §5) interleaved with process kills and recoveries at random
-// points. Safety must be unconditional — the oracle may never observe a
-// live object reclaimed, no matter where the crashes land; crashes may
-// only cost residual garbage, which healing refresh rounds win back
-// like any other message loss.
+// E9 exercises the durability subsystem's crash-recovery guarantee and
+// the hint-resolution protocol's convergence-to-zero claim: randomised
+// churn over durable sites (write-ahead log + snapshots, DESIGN.md §5)
+// interleaved with process kills and recoveries at random points, plus
+// the two deterministic hint-leak scenarios (a lost edge-assert with a
+// live receiver — the edge never forms because the holder died — and a
+// lost assert with a crashed receiver). Safety must be unconditional —
+// the oracle may never observe a live object reclaimed, no matter where
+// the crashes land — AND residual garbage must reach zero after bounded
+// refresh rounds: with assert re-send, hint expiry and retained
+// finalisation bundles, a crash or loss costs rounds, never a leak.
 func E9(w io.Writer) bool {
-	fmt.Fprintln(w, "== E9: durability — crash/restart never violates safety ==")
-	fmt.Fprintf(w, "%6s %8s %10s %10s %14s %10s\n", "seed", "crashes", "replayed", "residual", "afterRefresh", "dangling")
+	fmt.Fprintln(w, "== E9: durability & hint resolution — safety unconditional, residual → 0 ==")
 	ok := true
+	for _, sc := range []struct {
+		name string
+		run  func() (before, after, dangling int, err error)
+	}{
+		{"lost assert, live receiver (dead introduction)", e9LeakLiveReceiver},
+		{"lost assert, crashed receiver", e9LeakCrashedReceiver},
+	} {
+		before, after, dangling, err := sc.run()
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+			return false
+		}
+		fmt.Fprintf(w, "%-46s residual=%d afterRefresh=%d dangling=%d\n", sc.name, before, after, dangling)
+		ok = ok && after == 0 && dangling == 0
+	}
+	fmt.Fprintf(w, "%6s %8s %10s %10s %14s %10s\n", "seed", "crashes", "replayed", "residual", "afterRefresh", "dangling")
 	for seed := int64(1); seed <= 5; seed++ {
 		r, err := e9Run(seed)
 		if err != nil {
@@ -289,11 +308,134 @@ func E9(w io.Writer) bool {
 		}
 		fmt.Fprintf(w, "%6d %8d %10d %10d %14d %10d\n",
 			seed, r.crashes, r.replayed, r.residual, r.afterRefresh, r.dangling)
-		ok = ok && r.dangling == 0
+		ok = ok && r.dangling == 0 && r.afterRefresh == 0
 	}
-	fmt.Fprintln(w, "safety is unconditional (dangling always 0); a crash is just another lossy link")
+	fmt.Fprintln(w, "safety is unconditional (dangling always 0); refresh rounds drive residual to 0")
 	fmt.Fprintln(w)
 	return ok
+}
+
+// e9LeakLiveReceiver reproduces the dead-introduction leak: a reference
+// forwarded to a holder object that was collected before the transfer
+// arrives. The edge never forms, so no edge-assert ever resolves the
+// introduction hint armed at the target — only the expiry protocol can.
+func e9LeakLiveReceiver() (before, after, dangling int, err error) {
+	wd := sim.NewWorld(3, netsim.Faults{Seed: 1}, site.DefaultOptions())
+	s1 := wd.Site(1)
+	x, err := s1.NewRemote(s1.Root().Obj, 2)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tgt, err := s1.NewRemote(s1.Root().Obj, 3)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := wd.Run(); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := s1.DropRefs(s1.Root().Obj, x); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := wd.Settle(); err != nil {
+		return 0, 0, 0, err
+	}
+	// The stale forward reaches site 2 after x's collection.
+	if err := s1.SendRef(s1.Root().Obj, x, tgt); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := wd.Run(); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := s1.DropRefs(s1.Root().Obj, tgt); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := wd.Settle(); err != nil {
+		return 0, 0, 0, err
+	}
+	rep := wd.Check()
+	before, dangling = len(rep.Garbage), len(rep.Dangling)
+	if err := wd.RefreshAll(); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := wd.Settle(); err != nil {
+		return 0, 0, 0, err
+	}
+	rep = wd.Check()
+	return before, len(rep.Garbage), dangling + len(rep.Dangling), nil
+}
+
+// e9LeakCrashedReceiver reproduces the crashed-receiver leak: the hint
+// owner's site is killed while the edge-assert is in flight, and again
+// while the asserting cluster's finalisation destroy is in flight —
+// both resolution carriers lost. Bounded refresh rounds must still
+// reclaim the pinned target.
+func e9LeakCrashedReceiver() (before, after, dangling int, err error) {
+	dir, err := os.MkdirTemp("", "causalgc-e9-leak-*")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	wd, err := sim.NewDurableWorld(3, netsim.Faults{Seed: 7}, site.DefaultOptions(), dir, 8)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer wd.Close()
+	s1 := wd.Site(1)
+	x, err := s1.NewRemote(s1.Root().Obj, 2)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tgt, err := s1.NewRemote(s1.Root().Obj, 3)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := wd.Run(); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := wd.Crash(3); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := s1.SendRef(s1.Root().Obj, x, tgt); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := wd.Run(); err != nil { // x forms the edge; its assert is eaten
+		return 0, 0, 0, err
+	}
+	if err := wd.Restart(3); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := s1.DropRefs(s1.Root().Obj, x); err != nil {
+		return 0, 0, 0, err
+	}
+	for i := 0; i < sim.DefaultStepBudget && !wd.Site(2).ClusterRemoved(x.Cluster); i++ {
+		if !wd.Step() {
+			break
+		}
+	}
+	if err := wd.Crash(3); err != nil { // eats x's finalisation destroy
+		return 0, 0, 0, err
+	}
+	if err := wd.Restart(3); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := s1.DropRefs(s1.Root().Obj, tgt); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := wd.Settle(); err != nil {
+		return 0, 0, 0, err
+	}
+	rep := wd.Check()
+	before, dangling = len(rep.Garbage), len(rep.Dangling)
+	for i := 0; i < 3 && len(rep.Garbage) > 0; i++ {
+		if err := wd.RefreshAll(); err != nil {
+			return 0, 0, 0, err
+		}
+		if err := wd.Settle(); err != nil {
+			return 0, 0, 0, err
+		}
+		rep = wd.Check()
+	}
+	return before, len(rep.Garbage), dangling + len(rep.Dangling), nil
 }
 
 type e9Result struct {

@@ -48,6 +48,33 @@
 // substance of the paper's lazy log-keeping claim (the assert count is
 // reported separately by every benchmark).
 //
+// # Hint resolution is guaranteed, not best-effort
+//
+// A pending hint blocks a garbage verdict, so an introduction that is
+// never resolved pins its owner forever — the one leak the engine used
+// to tolerate. Three mechanisms close it:
+//
+//   - Assert re-send: every edge-assert is journaled per (holder,
+//     target, introducer, forwarding-seq) until the hint's owner
+//     acknowledges it with a HintAck; Refresh re-ships the journal
+//     alongside the destroyed-edge bundles. Loss of an assert (or of
+//     its ack) costs one refresh round, never the resolution.
+//   - Hint expiry: a forwarding whose reference was delivered and
+//     discarded without an edge ever forming — the holder object
+//     already collected, its cluster tombstoned — can never be consumed
+//     by the source's word. The receiving site expires it at the owner
+//     with a stampless negative assert for exactly that (introducer,
+//     forwarding-seq), journaled and re-sent like any other
+//     (ResolveIntroduction). Expiry is causally safe: the negative
+//     assert is issued after the delivery that proves no edge resulted,
+//     and a fresher forwarding carries a higher seq that the expiry
+//     bound does not cover.
+//   - Retained finalisation bundles: the destroy bundles a removed
+//     process sends carry the processed-introduction records that
+//     resolve its hints, but the process is gone — a lost bundle could
+//     not be re-shipped from its on-behalf rows. Removal therefore
+//     retains the bundles (bounded FIFO) and Refresh re-sends them.
+//
 // Detection then proceeds exactly as in §3.6: GGD work starts when an
 // edge-destruction message arrives, first-hand vectors circulate along
 // the edges of the global root graph (with row gossip) until the logs
@@ -57,8 +84,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"causalgc/internal/ids"
+	"causalgc/internal/ring"
 	"causalgc/internal/vclock"
 )
 
@@ -102,10 +131,22 @@ type DestroyMsg struct {
 
 // AssertMsg is the edge-assert: the source's authoritative live stamp for
 // its edge to the target, resolving the introduction (Intro, IntroSeq).
+// A zero Stamp is a negative assert: it carries no liveness claim and
+// only expires the introduction (see ResolveIntroduction).
 type AssertMsg struct {
 	Stamp    uint64
 	Intro    ids.ClusterID
 	IntroSeq uint64
+}
+
+// AckMsg acknowledges one edge-assert: the hint's owner echoes the
+// assert's identity back to the asserter, which retires the matching
+// re-send journal row. Acks are GGD-plane traffic — idempotent and
+// loss-tolerant; a lost ack merely costs one more re-send.
+type AckMsg struct {
+	Intro    ids.ClusterID
+	IntroSeq uint64
+	Stamp    uint64
 }
 
 // Sender transmits GGD control messages to other sites. The site runtime
@@ -114,6 +155,7 @@ type Sender interface {
 	SendDestroy(from, to ids.ClusterID, m DestroyMsg)
 	SendPropagate(from, to ids.ClusterID, m Propagation)
 	SendAssert(from, to ids.ClusterID, m AssertMsg)
+	SendAck(from, to ids.ClusterID, m AckMsg)
 }
 
 // Stats counts engine activity for the experiment harness.
@@ -127,8 +169,16 @@ type Stats struct {
 	// DestroysSent counts edge-destruction messages sent (local and
 	// remote), including finalisation destroys.
 	DestroysSent int
-	// AssertsSent counts edge-assert messages sent.
+	// AssertsSent counts edge-assert messages sent (first sends, negative
+	// asserts included).
 	AssertsSent int
+	// AssertResends counts journaled edge-asserts re-sent by Refresh.
+	AssertResends int
+	// AcksSent counts HintAck messages sent back to asserters.
+	AcksSent int
+	// HintsExpired counts introduction hints expired as provably stale
+	// (negative asserts processed, local expiries included).
+	HintsExpired int
 	// StaleDeliveries counts messages addressed to removed or unknown
 	// processes (harmless; dropped).
 	StaleDeliveries int
@@ -166,8 +216,42 @@ type Engine struct {
 	// per cluster; overflow falls back to dropping (loss-equivalent, safe).
 	pending map[ids.ClusterID][]delivery
 
+	// asserts is the re-send journal: every un-acknowledged edge-assert,
+	// keyed by (holder, target, introducer, forwarding-seq), valued with
+	// the asserted stamp (zero for negative asserts). Rows are retired by
+	// the owner's HintAck, by the edge's destruction (the destroy bundle
+	// takes over resolution), or by the holder's removal; Refresh
+	// re-sends whatever remains. Bounded: past maxAssertRows new rows are
+	// dropped (loss-equivalent — deterministic, so replay agrees).
+	asserts map[assertRow]uint64
+	// legacy retains the finalisation destroy bundles of removed
+	// processes for Refresh re-send: once the process is gone its
+	// on-behalf rows can no longer re-ship them, yet they carry the
+	// records that resolve the successors' hints. A fixed-capacity
+	// ring: eviction overwrites the oldest in place (loss-equivalent).
+	legacy *ring.Ring[legacyDestroy]
+
 	stats Stats
 }
+
+// assertRow identifies one journaled edge-assert.
+type assertRow struct {
+	holder, target, intro ids.ClusterID
+	seq                   uint64
+}
+
+// legacyDestroy is one retained finalisation destroy bundle.
+type legacyDestroy struct {
+	from, to ids.ClusterID
+	m        DestroyMsg
+}
+
+const (
+	// maxAssertRows bounds the assert re-send journal.
+	maxAssertRows = 4096
+	// maxLegacy bounds the retained finalisation bundles.
+	maxLegacy = 1024
+)
 
 // process is the per-global-root state: the paper's "each global root
 // appears as a process" (§3.1).
@@ -214,6 +298,8 @@ func New(site ids.SiteID, send Sender, onRemove func(ids.ClusterID), opts Option
 		procs:     make(map[ids.ClusterID]*process),
 		tombstone: make(map[ids.ClusterID]uint64),
 		pending:   make(map[ids.ClusterID][]delivery),
+		asserts:   make(map[assertRow]uint64),
+		legacy:    ring.New[legacyDestroy](maxLegacy),
 	}
 }
 
@@ -335,9 +421,68 @@ func (e *Engine) EdgeUp(holder, target ids.ClusterID, first bool, intro ids.Clus
 	// A creation needs no assert: the creation message itself carries the
 	// authoritative stamp to the new cluster.
 	if first && !creation && !e.opts.UnsafeNoHints {
-		e.stats.AssertsSent++
 		m := AssertMsg{Stamp: p.clock, Intro: intro, IntroSeq: introSeq}
+		e.journalAssert(assertRow{holder: holder, target: target, intro: intro, seq: introSeq}, m.Stamp)
+		e.stats.AssertsSent++
 		e.send.SendAssert(holder, target, m)
+	}
+}
+
+// journalAssert records an un-acknowledged assert for Refresh re-send.
+// At the bound, a new positive row is dropped (loss-equivalent: its
+// introduction sits in the on-behalf Processed vector, so the edge's
+// eventual destroy bundle still resolves the hint), while a new
+// negative row evicts an existing one — an expired introduction appears
+// in no bundle, so dropping the freshly-sent row would pin the owner's
+// hint on a single message loss. The victim is a positive row when one
+// exists, else the deterministically-first negative row (the oldest in
+// re-send order, which has had the most delivery attempts). All choices
+// are deterministic, so WAL replay reconstructs the journal.
+func (e *Engine) journalAssert(row assertRow, stamp uint64) {
+	if _, ok := e.asserts[row]; !ok && len(e.asserts) >= maxAssertRows {
+		if stamp > 0 {
+			return
+		}
+		e.evictAssertRow()
+	}
+	e.asserts[row] = stamp
+}
+
+// evictAssertRow removes the deterministically-first positive journal
+// row, falling back to the deterministically-first negative row when
+// the journal holds no positive ones.
+func (e *Engine) evictAssertRow() {
+	var posVictim, negVictim assertRow
+	posFound, negFound := false, false
+	for row, stamp := range e.asserts {
+		if stamp > 0 {
+			if !posFound || assertRowLess(row, posVictim) {
+				posVictim, posFound = row, true
+			}
+		} else if !negFound || assertRowLess(row, negVictim) {
+			negVictim, negFound = row, true
+		}
+	}
+	switch {
+	case posFound:
+		delete(e.asserts, posVictim)
+	case negFound:
+		delete(e.asserts, negVictim)
+	}
+}
+
+// retireAsserts drops the positive journal rows for edge holder→target:
+// their introductions were recorded in the on-behalf Processed vector
+// when consumed, so the edge's destruction bundle (itself re-sent by
+// Refresh while the Ē stamp sits in the on-behalf row) takes over
+// resolving the hints. Negative rows (stamp zero) must survive — their
+// expired introductions appear in no bundle, so only the owner's ack
+// may ever retire them.
+func (e *Engine) retireAsserts(holder, target ids.ClusterID) {
+	for row, stamp := range e.asserts {
+		if stamp > 0 && row.holder == holder && row.target == target {
+			delete(e.asserts, row)
+		}
 	}
 }
 
@@ -392,6 +537,7 @@ func (e *Engine) EdgeDown(holder, target ids.ClusterID) {
 	}
 	p.clock++
 	p.acq.Remove(target)
+	e.retireAsserts(holder, target)
 	if target.Site == e.site {
 		// Local destruction: deliver a minimal destroy so the receive path
 		// merges, evaluates and propagates uniformly. Hints and processed
@@ -450,6 +596,15 @@ func (e *Engine) HandleAssert(to, from ids.ClusterID, m AssertMsg) {
 	e.Drain()
 }
 
+// HandleAck processes an incoming HintAck: the hint owner (from) has
+// resolved the echoed introduction, so the matching journal row of the
+// asserting process (to) is retired. Idempotent; unknown rows (already
+// retired, or re-acked after an edge re-formed under a fresher
+// forwarding) are ignored.
+func (e *Engine) HandleAck(to, from ids.ClusterID, m AckMsg) {
+	delete(e.asserts, assertRow{holder: to, target: from, intro: m.Intro, seq: m.IntroSeq})
+}
+
 // Drain processes queued deliveries until quiescence. Safe to call at any
 // time; reentrant calls (hooks firing inside Drain) queue work for the
 // outer invocation.
@@ -470,11 +625,26 @@ func (e *Engine) Drain() {
 func (e *Engine) receive(d delivery) {
 	p, ok := e.procs[d.to]
 	if !ok {
-		if _, dead := e.tombstone[d.to]; !dead && d.to.Site == e.site && len(e.pending[d.to]) < 64 {
+		if _, dead := e.tombstone[d.to]; !dead && d.to.Site == e.site {
 			// The target's creation message has not arrived yet
 			// (reordered channels): buffer and replay on Register.
-			e.pending[d.to] = append(e.pending[d.to], d)
-			return
+			if len(e.pending[d.to]) < 64 {
+				e.pending[d.to] = append(e.pending[d.to], d)
+				return
+			}
+			if e.admitExpiry(d) {
+				return
+			}
+		}
+		if d.kind == deliverAssert {
+			if _, dead := e.tombstone[d.to]; dead {
+				// Ack on behalf of a removed process: the tombstone's
+				// word is final, and without the ack the asserter would
+				// re-send forever. Other drops (pending-buffer overflow,
+				// unknown target) stay un-acked — they are genuine loss,
+				// and the re-send journal exists to retry them.
+				e.ackAssert(d.to, d.from, d.assert)
+			}
 		}
 		// Stale traffic to a removed or unknown process: dropped. Message
 		// loss never compromises safety (§5), so neither does this.
@@ -515,14 +685,22 @@ func (e *Engine) receive(d delivery) {
 		}
 
 	case deliverAssert:
-		if p.log.Own().MergeEntry(d.from, vclock.At(d.assert.Stamp)) {
+		if d.assert.Stamp > 0 && p.log.Own().MergeEntry(d.from, vclock.At(d.assert.Stamp)) {
 			changed = true
 		}
 		if d.assert.Intro.Valid() && d.assert.IntroSeq > 0 {
-			if p.log.Hints().Clear(d.from, d.assert.Intro, d.assert.IntroSeq) {
+			if d.assert.Stamp == 0 {
+				// Negative assert: the introduction is provably dead at
+				// the source's site — expire it.
+				if p.log.Hints().Expire(d.from, d.assert.Intro, d.assert.IntroSeq) {
+					e.stats.HintsExpired++
+					changed = true
+				}
+			} else if p.log.Hints().Clear(d.from, d.assert.Intro, d.assert.IntroSeq) {
 				changed = true
 			}
 		}
+		e.ackAssert(d.to, d.from, d.assert)
 
 	case deliverPropagate:
 		m := d.prop
@@ -576,6 +754,99 @@ func (e *Engine) receive(d delivery) {
 		}
 	}
 	e.evaluate(p, changed)
+}
+
+// admitExpiry makes room in a full pre-registration pending buffer for
+// a self-delivered hint expiry (ResolveIntroduction's local-owner
+// path), reporting whether it was admitted. That delivery is the one
+// buffered kind with no other carrier: the dead transfer that proved
+// the expiry is dedup-recorded and never re-arrives, while every other
+// buffered kind is re-derivable (destroys via on-behalf/legacy re-send,
+// propagations via refresh, remote asserts via the sender's journal).
+// The oldest such re-derivable delivery is evicted; if the buffer is
+// somehow full of expiries, the new one is dropped — the bound is the
+// bound.
+func (e *Engine) admitExpiry(d delivery) bool {
+	if d.kind != deliverAssert || d.assert.Stamp != 0 || d.from.Site != e.site {
+		return false
+	}
+	q := e.pending[d.to]
+	for i, old := range q {
+		if old.kind == deliverAssert && old.assert.Stamp == 0 && old.from.Site == e.site {
+			continue
+		}
+		copy(q[i:], q[i+1:])
+		q[len(q)-1] = d
+		return true
+	}
+	return false
+}
+
+// ackAssert acknowledges a processed edge-assert back to its sender.
+// owner may be tombstoned. A local asserter (the self-delivered expiry
+// of ResolveIntroduction) journals nothing, so it needs no ack.
+func (e *Engine) ackAssert(owner, asserter ids.ClusterID, m AssertMsg) {
+	if asserter.Site == e.site {
+		return
+	}
+	e.stats.AcksSent++
+	e.send.SendAck(owner, asserter, AckMsg{Intro: m.Intro, IntroSeq: m.IntroSeq, Stamp: m.Stamp})
+}
+
+// ResolveIntroduction resolves introduction (intro, seq) of the edge
+// holder→target when the forwarded reference was delivered to this site
+// and discarded without a slot write — the holder object is provably
+// dead (collected, or its cluster tombstoned). Exactly one of three
+// things is true, and each yields a causally-safe resolution:
+//
+//   - holder's cluster still holds the edge (another object's
+//     reference): the introduction is consumed on the cluster's behalf
+//     with a genuine re-assert — the edge exists, so the fresh live
+//     stamp is truthful (DESIGN.md interpretation #2).
+//   - holder's cluster holds no such edge: any earlier edge was
+//     destroyed (its Ē-stamped bundle, re-sent by Refresh, supersedes),
+//     and no event of the cluster can ever consume this forwarding — a
+//     negative assert expires the hint at the owner.
+//   - the owner is local: the hint is expired directly.
+//
+// All emitted asserts are journaled and re-sent until acknowledged.
+func (e *Engine) ResolveIntroduction(holder, target, intro ids.ClusterID, seq uint64) {
+	if e.opts.UnsafeNoHints || seq == 0 || seq == ids.CreationSeq || !intro.Valid() {
+		return
+	}
+	if target.Site == e.site {
+		if t, ok := e.procs[target]; ok {
+			if t.log.Hints().Expire(holder, intro, seq) {
+				e.stats.HintsExpired++
+				e.evaluate(t, true)
+				e.Drain()
+			}
+		} else if _, dead := e.tombstone[target]; !dead {
+			// The owner's creation message has not arrived yet: route
+			// the expiry through the pre-registration pending buffer as
+			// a self-delivered negative assert, replayed on Register.
+			// Dropping it instead would pin the owner forever — the
+			// transfer's dedup record means it never re-arrives, so no
+			// later event could re-derive the expiry.
+			e.inbox = append(e.inbox, delivery{
+				to: target, from: holder, kind: deliverAssert,
+				assert: AssertMsg{Intro: intro, IntroSeq: seq},
+			})
+			e.Drain()
+		}
+		return
+	}
+	m := AssertMsg{Intro: intro, IntroSeq: seq}
+	if p, ok := e.procs[holder]; ok && p.acq.Has(target) {
+		p.clock++
+		m.Stamp = p.clock
+		ob := p.log.OB(target)
+		ob.Auth.MergeEntry(holder, vclock.At(p.clock))
+		ob.Processed.MergeEntry(intro, vclock.At(seq))
+	}
+	e.journalAssert(assertRow{holder: holder, target: target, intro: intro, seq: seq}, m.Stamp)
+	e.stats.AssertsSent++
+	e.send.SendAssert(holder, target, m)
 }
 
 // evaluate runs ComputeV and acts on the outcome: removal when the
@@ -684,6 +955,7 @@ func (e *Engine) remove(p *process) {
 	e.stats.Removed++
 	for _, k := range p.acq.Sorted() {
 		p.clock++
+		e.retireAsserts(p.id, k)
 		if k.Site == e.site {
 			e.queueDestroy(p.id, k, DestroyMsg{
 				Auth: vclock.Vector{p.id: vclock.Eps(p.clock)},
@@ -692,11 +964,16 @@ func (e *Engine) remove(p *process) {
 		}
 		ob := p.log.OB(k)
 		ob.Auth.MergeEntry(p.id, vclock.Eps(p.clock))
-		e.queueDestroy(p.id, k, DestroyMsg{
+		m := DestroyMsg{
 			Auth:      ob.Auth.Clone(),
 			Hints:     ob.Hints.Clone(),
 			Processed: ob.Processed.Clone(),
-		})
+		}
+		// Retain the finalisation bundle: once the process is gone its
+		// on-behalf rows can no longer re-ship it, yet it carries the
+		// records resolving the successor's hints. Refresh re-sends.
+		e.legacy.Push(legacyDestroy{from: p.id, to: k, m: cloneDestroy(m)})
+		e.queueDestroy(p.id, k, m)
 	}
 	e.tombstone[p.id] = p.clock
 	if e.onRemove != nil {
@@ -716,9 +993,12 @@ func (e *Engine) queueDestroy(from, to ids.ClusterID, m DestroyMsg) {
 // --- Recovery (§5: residual garbage) ------------------------------------
 
 // Refresh re-evaluates every local process, re-propagates its current
-// state unconditionally, and re-sends the edge-destruction bundles of
+// state unconditionally, re-sends the edge-destruction bundles of
 // every edge the process has destroyed (its on-behalf rows whose own
-// column carries Ē). GGD messages are idempotent, so a refresh is
+// column carries Ē), and re-ships the un-acknowledged edge-asserts and
+// retained finalisation bundles (hint resolution: a lost assert or a
+// lost final destroy costs one refresh round, never a pinned hint).
+// GGD messages are idempotent, so a refresh is
 // always safe; it re-detects residual garbage whose original detection
 // traffic was lost — including a lost destroy message itself, which
 // propagation alone can never recover: once the edge is gone the
@@ -764,6 +1044,44 @@ func (e *Engine) Refresh() {
 		}
 		e.Drain()
 	}
+	// Re-ship the un-acknowledged edge-asserts and the retained
+	// finalisation bundles of removed processes: the resolution half of
+	// the refresh round. Both are idempotent; receivers ack asserts (so
+	// the journal drains) and merge bundles by stamp order.
+	rows := make([]assertRow, 0, len(e.asserts))
+	for row := range e.asserts {
+		rows = append(rows, row)
+	}
+	sortAssertRows(rows)
+	for _, row := range rows {
+		e.stats.AssertResends++
+		e.send.SendAssert(row.holder, row.target, AssertMsg{
+			Stamp: e.asserts[row], Intro: row.intro, IntroSeq: row.seq,
+		})
+	}
+	for _, l := range e.legacy.Items() {
+		e.queueDestroy(l.from, l.to, cloneDestroy(l.m))
+	}
+	e.Drain()
+}
+
+// sortAssertRows orders journal rows deterministically for re-send.
+func sortAssertRows(rows []assertRow) {
+	sort.Slice(rows, func(i, j int) bool { return assertRowLess(rows[i], rows[j]) })
+}
+
+// assertRowLess is the total order over journal rows.
+func assertRowLess(a, b assertRow) bool {
+	if a.holder != b.holder {
+		return a.holder.Less(b.holder)
+	}
+	if a.target != b.target {
+		return a.target.Less(b.target)
+	}
+	if a.intro != b.intro {
+		return a.intro.Less(b.intro)
+	}
+	return a.seq < b.seq
 }
 
 // Evaluate forces one evaluation of a single process (test hook).

@@ -9,13 +9,19 @@ import (
 
 // fakeSender records outgoing control messages.
 type fakeSender struct {
-	destroys []sentMsg
+	destroys []sentDestroy
 	props    []sentMsg
 	asserts  []sentAssert
+	acks     []sentAck
 }
 
 type sentMsg struct {
 	from, to ids.ClusterID
+}
+
+type sentDestroy struct {
+	from, to ids.ClusterID
+	m        DestroyMsg
 }
 
 type sentAssert struct {
@@ -23,8 +29,13 @@ type sentAssert struct {
 	m        AssertMsg
 }
 
-func (f *fakeSender) SendDestroy(from, to ids.ClusterID, _ DestroyMsg) {
-	f.destroys = append(f.destroys, sentMsg{from, to})
+type sentAck struct {
+	from, to ids.ClusterID
+	m        AckMsg
+}
+
+func (f *fakeSender) SendDestroy(from, to ids.ClusterID, m DestroyMsg) {
+	f.destroys = append(f.destroys, sentDestroy{from, to, m})
 }
 
 func (f *fakeSender) SendPropagate(from, to ids.ClusterID, _ Propagation) {
@@ -33,6 +44,10 @@ func (f *fakeSender) SendPropagate(from, to ids.ClusterID, _ Propagation) {
 
 func (f *fakeSender) SendAssert(from, to ids.ClusterID, m AssertMsg) {
 	f.asserts = append(f.asserts, sentAssert{from, to, m})
+}
+
+func (f *fakeSender) SendAck(from, to ids.ClusterID, m AckMsg) {
+	f.acks = append(f.acks, sentAck{from, to, m})
 }
 
 var _ Sender = (*fakeSender)(nil)
@@ -330,6 +345,331 @@ func TestEngineUnsafeNoHintsSkipsMechanism(t *testing.T) {
 	e.SentRef(cA, cA, rem)
 	if e.LogSnapshot(cA).Hints() != nil && !e.LogSnapshot(cA).Hints().Empty() {
 		t.Error("hints armed with UnsafeNoHints")
+	}
+}
+
+func TestEngineAssertJournaledAndResentUntilAck(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(r1)
+	e.Register(cA)
+	e.EdgeUp(r1, cA, true, ids.NoCluster, 0) // keep cA alive across refreshes
+	e.Drain()
+	intro := ids.ClusterID{Site: 3, Seq: 9}
+	e.EdgeUp(cA, rem, true, intro, 7)
+	if len(fs.asserts) != 1 {
+		t.Fatalf("asserts = %+v, want 1", fs.asserts)
+	}
+	first := fs.asserts[0]
+	// The assert was lost: every refresh round re-ships it verbatim.
+	for i := 0; i < 2; i++ {
+		e.Refresh()
+		if got := len(fs.asserts); got != 2+i {
+			t.Fatalf("after refresh %d: asserts = %d, want %d", i+1, got, 2+i)
+		}
+		if re := fs.asserts[len(fs.asserts)-1]; re != first {
+			t.Fatalf("re-sent assert %+v != original %+v", re, first)
+		}
+	}
+	if got := e.Stats().AssertResends; got != 2 {
+		t.Errorf("AssertResends = %d, want 2", got)
+	}
+	// The owner's ack retires the journal row: no further re-sends.
+	e.HandleAck(cA, rem, AckMsg{Intro: intro, IntroSeq: 7, Stamp: first.m.Stamp})
+	n := len(fs.asserts)
+	e.Refresh()
+	if len(fs.asserts) != n {
+		t.Fatalf("re-sent after ack: %+v", fs.asserts[n:])
+	}
+}
+
+func TestEngineAssertJournalRetiredByEdgeDown(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(cA)
+	e.EdgeUp(cA, rem, true, cB, 3)
+	e.EdgeDown(cA, rem)
+	e.Drain()
+	// The destroy bundle (re-sent by Refresh from the Ē-stamped OB row)
+	// now owns resolution; the assert journal must not re-ship.
+	n := len(fs.asserts)
+	e.Refresh()
+	if len(fs.asserts) != n {
+		t.Fatalf("assert re-sent after edge destruction: %+v", fs.asserts[n:])
+	}
+}
+
+func TestEngineAssertToTombstoneAcked(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(cA)
+	e.HandleDestroy(cA, r1, DestroyMsg{Auth: vclock.Vector{r1: vclock.Eps(1)}})
+	if !e.Removed(cA) {
+		t.Fatal("cA not removed")
+	}
+	// A (re-sent) assert addressed to the tombstone must still be acked,
+	// or the asserter would re-send forever.
+	e.HandleAssert(cA, rem, AssertMsg{Stamp: 4, Intro: cB, IntroSeq: 2})
+	if len(fs.acks) != 1 {
+		t.Fatalf("acks = %+v, want 1", fs.acks)
+	}
+	if a := fs.acks[0]; a.from != cA || a.to != rem || a.m.IntroSeq != 2 {
+		t.Errorf("ack = %+v", a)
+	}
+}
+
+func TestEngineAssertProcessingAcks(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(cA)
+	e.HandleAssert(cA, rem, AssertMsg{Stamp: 4, Intro: cB, IntroSeq: 2})
+	if len(fs.acks) != 1 || fs.acks[0].m.Stamp != 4 {
+		t.Fatalf("acks = %+v, want one echoing stamp 4", fs.acks)
+	}
+	// Duplicate delivery: idempotent, acked again.
+	e.HandleAssert(cA, rem, AssertMsg{Stamp: 4, Intro: cB, IntroSeq: 2})
+	if len(fs.acks) != 2 {
+		t.Fatalf("duplicate assert not re-acked: %+v", fs.acks)
+	}
+}
+
+func TestEngineNegativeAssertExpiresHint(t *testing.T) {
+	e, _, _ := newEngine(t, Options{})
+	e.Register(cA)
+	// A bundle arms hint (rem, cB, 5): rem may be about to reference cA.
+	e.HandleDestroy(cA, cB, DestroyMsg{
+		Auth:  vclock.Vector{cB: vclock.Eps(3)},
+		Hints: vclock.Vector{rem: vclock.At(5)},
+	})
+	if e.Removed(cA) {
+		t.Fatal("removed with a pending hint (UNSAFE)")
+	}
+	// rem's site reports the introduction dead: stampless assert.
+	e.HandleAssert(cA, rem, AssertMsg{Stamp: 0, Intro: cB, IntroSeq: 5})
+	if got := e.Stats().HintsExpired; got != 1 {
+		t.Errorf("HintsExpired = %d, want 1", got)
+	}
+	// No liveness was claimed and the hint is gone: cA is garbage now.
+	if !e.Removed(cA) {
+		t.Fatal("not removed after the pinning hint expired")
+	}
+}
+
+func TestEngineExpiryBoundSuppressesStaleRearm(t *testing.T) {
+	e, _, _ := newEngine(t, Options{})
+	e.Register(r1)
+	e.Register(cA)
+	e.EdgeUp(r1, cA, true, ids.NoCluster, 0) // keep cA alive
+	e.Drain()
+	// Expiry arrives before the (stale, gossiped) arming.
+	e.HandleAssert(cA, rem, AssertMsg{Stamp: 0, Intro: cB, IntroSeq: 5})
+	e.HandleDestroy(cA, cB, DestroyMsg{
+		Auth:  vclock.Vector{cB: vclock.Eps(3)},
+		Hints: vclock.Vector{rem: vclock.At(5)},
+	})
+	if e.LogSnapshot(cA).Hints().Has(rem) {
+		t.Fatal("expired introduction re-armed by stale gossip")
+	}
+	// A genuinely fresher forwarding (seq 6 > bound 5) still arms.
+	e.HandleDestroy(cA, cB, DestroyMsg{Hints: vclock.Vector{rem: vclock.At(6)}})
+	if !e.LogSnapshot(cA).Hints().Has(rem) {
+		t.Fatal("fresh forwarding suppressed by the expiry bound")
+	}
+}
+
+func TestEngineResolveIntroductionDeadHolder(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	// cA was removed long ago; a forwarded reference addressed to one of
+	// its objects arrives — the introduction can never form an edge.
+	e.Register(cA)
+	e.HandleDestroy(cA, r1, DestroyMsg{Auth: vclock.Vector{r1: vclock.Eps(1)}})
+	if !e.Removed(cA) {
+		t.Fatal("cA not removed")
+	}
+	e.ResolveIntroduction(cA, rem, cB, 4)
+	if len(fs.asserts) != 1 {
+		t.Fatalf("asserts = %+v, want 1 negative", fs.asserts)
+	}
+	if a := fs.asserts[0]; a.from != cA || a.to != rem || a.m.Stamp != 0 || a.m.IntroSeq != 4 {
+		t.Errorf("negative assert = %+v", a)
+	}
+	// Journaled: refresh re-sends until acked.
+	e.Refresh()
+	if len(fs.asserts) != 2 {
+		t.Fatalf("negative assert not re-sent: %+v", fs.asserts)
+	}
+	e.HandleAck(cA, rem, AckMsg{Intro: cB, IntroSeq: 4})
+	e.Refresh()
+	if len(fs.asserts) != 2 {
+		t.Fatalf("negative assert re-sent after ack: %+v", fs.asserts)
+	}
+}
+
+func TestEngineResolveIntroductionLiveEdgeReasserts(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(cA)
+	e.EdgeUp(cA, rem, true, ids.NoCluster, 0) // sends the edge's own first assert
+	clock := e.Clock(cA)
+	// The holder object died but the cluster still holds the edge: the
+	// introduction is consumed on its behalf with a genuine re-assert.
+	e.ResolveIntroduction(cA, rem, cB, 4)
+	if len(fs.asserts) != 2 {
+		t.Fatalf("asserts = %+v, want 2", fs.asserts)
+	}
+	a := fs.asserts[1]
+	if a.m.Stamp != clock+1 || a.m.Intro != cB || a.m.IntroSeq != 4 {
+		t.Errorf("re-assert = %+v, want stamp %d", a, clock+1)
+	}
+	ob := e.LogSnapshot(cA).PeekOB(rem)
+	if ob == nil || ob.Processed.Get(cB) != vclock.At(4) {
+		t.Errorf("introduction not recorded as processed: %+v", ob)
+	}
+}
+
+func TestEngineResolveIntroductionLocalOwner(t *testing.T) {
+	e, _, _ := newEngine(t, Options{})
+	e.Register(r1)
+	e.Register(cA)
+	e.Register(cB)
+	e.EdgeUp(r1, cA, true, ids.NoCluster, 0) // keep cA alive
+	e.Drain()
+	// Arm hint (cB, rem, 3) at local cA, then expire it locally: the
+	// holder cB's object died before the transfer arrived.
+	e.HandleDestroy(cA, rem, DestroyMsg{
+		Auth:  vclock.Vector{rem: vclock.Eps(2)},
+		Hints: vclock.Vector{cB: vclock.At(3)},
+	})
+	if !e.LogSnapshot(cA).Hints().Has(cB) {
+		t.Fatal("hint not armed")
+	}
+	e.ResolveIntroduction(cB, cA, rem, 3)
+	if e.LogSnapshot(cA).Hints().Has(cB) {
+		t.Fatal("local hint not expired")
+	}
+}
+
+func TestEngineNegativeRowSurvivesEdgeLifecycle(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(r1)
+	e.Register(cA)
+	e.EdgeUp(r1, cA, true, ids.NoCluster, 0) // keep cA alive
+	e.Drain()
+	// A dead introduction is expired while cA holds no edge to rem: a
+	// negative assert row is journaled.
+	e.ResolveIntroduction(cA, rem, cB, 4)
+	neg := len(fs.asserts)
+	if neg == 0 || fs.asserts[neg-1].m.Stamp != 0 {
+		t.Fatalf("asserts = %+v, want trailing negative", fs.asserts)
+	}
+	// cA later forms a genuine edge to rem (different introduction) and
+	// destroys it: the destroy bundle covers only the consumed
+	// introduction, so the negative row must survive the retirement.
+	e.EdgeUp(cA, rem, true, cB, 9)
+	e.EdgeDown(cA, rem)
+	e.Drain()
+	e.Refresh()
+	found := false
+	for _, a := range fs.asserts[neg:] {
+		if a.m.Stamp == 0 && a.m.Intro == cB && a.m.IntroSeq == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("negative assert not re-sent after edge lifecycle: %+v", fs.asserts[neg:])
+	}
+}
+
+func TestEngineOverflowDropDoesNotAck(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	// Fill cA's pre-registration pending buffer to its bound.
+	for i := 0; i < 64; i++ {
+		e.HandleDestroy(cA, rem, DestroyMsg{Auth: vclock.Vector{rem: vclock.Eps(uint64(i + 1))}})
+	}
+	// An assert past the bound is dropped as loss — it must NOT be
+	// acked, or the sender would retire a journal row that was never
+	// processed.
+	e.HandleAssert(cA, rem, AssertMsg{Stamp: 5, Intro: cB, IntroSeq: 2})
+	if len(fs.acks) != 0 {
+		t.Fatalf("overflow-dropped assert acked: %+v", fs.acks)
+	}
+}
+
+func TestEngineJournalFullOfNegativesEvictsOldest(t *testing.T) {
+	e, _, _ := newEngine(t, Options{})
+	// Saturate the journal with negative rows.
+	for i := 0; i < maxAssertRows; i++ {
+		e.asserts[assertRow{holder: cA, target: rem, intro: cB, seq: uint64(i + 1)}] = 0
+	}
+	oldest := assertRow{holder: cA, target: rem, intro: cB, seq: 1}
+	fresh := assertRow{holder: cA, target: rem, intro: cB, seq: maxAssertRows + 1}
+	e.journalAssert(fresh, 0)
+	if len(e.asserts) != maxAssertRows {
+		t.Fatalf("journal size = %d, want %d", len(e.asserts), maxAssertRows)
+	}
+	if _, ok := e.asserts[fresh]; !ok {
+		t.Fatal("fresh negative row dropped at the bound (would pin on one loss)")
+	}
+	if _, ok := e.asserts[oldest]; ok {
+		t.Fatal("oldest negative row not the eviction victim")
+	}
+	// A positive victim is always preferred over a negative one.
+	pos := assertRow{holder: cA, target: rem, intro: cB, seq: 2}
+	e.asserts[pos] = 7
+	delete(e.asserts, assertRow{holder: cA, target: rem, intro: cB, seq: 3})
+	e.journalAssert(assertRow{holder: cA, target: rem, intro: cB, seq: maxAssertRows + 2}, 0)
+	e.journalAssert(assertRow{holder: cA, target: rem, intro: cB, seq: maxAssertRows + 3}, 0)
+	if _, ok := e.asserts[pos]; ok {
+		t.Fatal("positive row survived while negatives were evicted")
+	}
+}
+
+func TestEnginePendingOverflowAdmitsLocalExpiry(t *testing.T) {
+	e, _, _ := newEngine(t, Options{})
+	e.Register(cB)
+	// Fill cA's pre-registration buffer with (re-derivable) destroys.
+	// Each bundles a live root stamp so the replay leaves cA alive.
+	for i := 0; i < 64; i++ {
+		e.HandleDestroy(cA, rem, DestroyMsg{Auth: vclock.Vector{
+			r1:  vclock.At(1),
+			rem: vclock.Eps(uint64(i + 1)),
+		}})
+	}
+	// A dead introduction for the not-yet-created local owner cA: the
+	// self-delivered expiry must displace a buffered destroy instead of
+	// being the thing that is dropped.
+	e.ResolveIntroduction(cB, cA, rem, 5)
+	e.Register(cA)
+	e.HandleCreate(cA, rem, 1)
+	e.Drain()
+	if !e.Registered(cA) {
+		t.Fatal("cA not live after create")
+	}
+	// The replayed expiry recorded the bound: the introducer's stale
+	// arming of hint (cB, rem, 5) is suppressed.
+	e.HandleDestroy(cA, rem, DestroyMsg{Hints: vclock.Vector{cB: vclock.At(5)}})
+	if e.LogSnapshot(cA).Hints().Has(cB) {
+		t.Fatal("expiry lost to pending-buffer overflow: hint armed")
+	}
+	if got := e.Stats().HintsExpired; got != 1 {
+		t.Errorf("HintsExpired = %d, want 1", got)
+	}
+}
+
+func TestEngineRemoveRetainsFinalBundle(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(cA)
+	e.EdgeUp(cA, rem, true, ids.NoCluster, 0)
+	e.HandleDestroy(cA, r1, DestroyMsg{Auth: vclock.Vector{r1: vclock.Eps(1)}})
+	if !e.Removed(cA) {
+		t.Fatal("cA not removed")
+	}
+	if len(fs.destroys) != 1 || fs.destroys[0].to != rem {
+		t.Fatalf("destroys = %+v", fs.destroys)
+	}
+	// The finalisation destroy was lost: the process is gone, but the
+	// retained bundle re-ships on refresh.
+	e.Refresh()
+	if len(fs.destroys) != 2 {
+		t.Fatalf("final bundle not re-sent: %+v", fs.destroys)
+	}
+	if d := fs.destroys[1]; d.from != cA || d.to != rem || !d.m.Auth.Get(cA).Eps {
+		t.Errorf("re-sent bundle = %+v", d)
 	}
 }
 

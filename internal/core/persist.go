@@ -17,7 +17,27 @@ type EngineImage struct {
 	Procs      []ProcImage
 	Tombstones map[ids.ClusterID]uint64
 	Pending    []PendingImage
-	Stats      Stats
+	// Asserts is the re-send journal of un-acknowledged edge-asserts:
+	// losing it to a crash would silently re-open the hint leak, so it
+	// is part of the durable image.
+	Asserts []AssertRowImage
+	// Legacy holds the retained finalisation destroy bundles of removed
+	// processes, in FIFO retention order.
+	Legacy []LegacyImage
+	Stats  Stats
+}
+
+// AssertRowImage is one journaled edge-assert awaiting acknowledgement.
+type AssertRowImage struct {
+	Holder, Target, Intro ids.ClusterID
+	Seq                   uint64
+	Stamp                 uint64
+}
+
+// LegacyImage is one retained finalisation destroy bundle.
+type LegacyImage struct {
+	From, To ids.ClusterID
+	M        DestroyMsg
 }
 
 // ProcImage is one process's state.
@@ -76,6 +96,20 @@ func (e *Engine) Export() (EngineImage, error) {
 			})
 		}
 	}
+	rows := make([]assertRow, 0, len(e.asserts))
+	for row := range e.asserts {
+		rows = append(rows, row)
+	}
+	sortAssertRows(rows)
+	for _, row := range rows {
+		img.Asserts = append(img.Asserts, AssertRowImage{
+			Holder: row.holder, Target: row.target, Intro: row.intro,
+			Seq: row.seq, Stamp: e.asserts[row],
+		})
+	}
+	for _, l := range e.legacy.Items() {
+		img.Legacy = append(img.Legacy, LegacyImage{From: l.from, To: l.to, M: cloneDestroy(l.m)})
+	}
 	return img, nil
 }
 
@@ -104,6 +138,12 @@ func Restore(site ids.SiteID, send Sender, onRemove func(ids.ClusterID), opts Op
 			to: di.To, from: di.From, kind: deliveryKind(di.Kind),
 			destroy: cloneDestroy(di.Destroy), prop: cloneProp(di.Prop), assert: di.Assert,
 		})
+	}
+	for _, ai := range img.Asserts {
+		e.asserts[assertRow{holder: ai.Holder, target: ai.Target, intro: ai.Intro, seq: ai.Seq}] = ai.Stamp
+	}
+	for _, li := range img.Legacy {
+		e.legacy.Push(legacyDestroy{from: li.From, to: li.To, m: cloneDestroy(li.M)})
 	}
 	return e, nil
 }

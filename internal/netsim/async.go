@@ -137,6 +137,9 @@ func (n *AsyncNetwork) Send(from, to ids.SiteID, p Payload) {
 			if n.faults.DropProb > 0 && n.rng.Float64() < n.faults.DropProb {
 				drop = true
 			}
+			if kp := n.faults.DropKindProb[p.Kind()]; !drop && kp > 0 && n.rng.Float64() < kp {
+				drop = true
+			}
 			if !drop && n.faults.DupProb > 0 && n.rng.Float64() < n.faults.DupProb {
 				dup = true
 			}

@@ -75,6 +75,11 @@ type Faults struct {
 	Seed int64
 	// DropProb is the probability that a sent message is silently lost.
 	DropProb float64
+	// DropKindProb drops messages of a specific payload kind with the
+	// given probability, on top of DropProb. Used by fault-injection
+	// lanes that target one message type (e.g. losing only edge-asserts
+	// to exercise the hint-resolution protocol).
+	DropKindProb map[string]float64
 	// DupProb is the probability that a sent message is delivered twice.
 	DupProb float64
 	// Reorder, in Sim, delivers messages of a channel in random order

@@ -71,6 +71,10 @@ func (s *Sim) Send(from, to ids.SiteID, p Payload) {
 			s.stats.RecordDropped(p)
 			return
 		}
+		if kp := s.faults.DropKindProb[p.Kind()]; kp > 0 && s.rng.Float64() < kp {
+			s.stats.RecordDropped(p)
+			return
+		}
 		if s.faults.DupProb > 0 && s.rng.Float64() < s.faults.DupProb {
 			s.stats.RecordDuplicated(p)
 			s.enqueue(from, to, p)
@@ -214,6 +218,15 @@ func (s *Sim) SetPartition(f func(from, to ids.SiteID) bool) {
 
 // SetDropProb replaces the drop probability at runtime.
 func (s *Sim) SetDropProb(p float64) { s.faults.DropProb = p }
+
+// SetDropKindProb replaces the per-kind drop probability for one payload
+// kind at runtime (0 heals that kind).
+func (s *Sim) SetDropKindProb(kind string, p float64) {
+	if s.faults.DropKindProb == nil {
+		s.faults.DropKindProb = make(map[string]float64)
+	}
+	s.faults.DropKindProb[kind] = p
+}
 
 // SetDupProb replaces the duplication probability at runtime.
 func (s *Sim) SetDupProb(p float64) { s.faults.DupProb = p }

@@ -1,0 +1,45 @@
+// Package ring provides the fixed-capacity FIFO ring buffer shared by
+// the bounded retention sets of the runtime: the site's outbox of
+// re-sendable mutator frames and the engine's retained finalisation
+// bundles. Push overwrites the oldest element once the ring is full —
+// O(1) per append, no front-shift copies — and Items returns the
+// elements oldest-first, so image round-trips preserve FIFO order.
+package ring
+
+// Ring is a fixed-capacity overwrite-oldest FIFO. Not safe for
+// concurrent use; callers serialise access.
+type Ring[T any] struct {
+	buf   []T
+	start int // index of the oldest element once full
+	max   int
+}
+
+// New returns an empty ring holding at most capacity elements.
+// capacity must be positive.
+func New[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic("ring: capacity must be positive")
+	}
+	return &Ring[T]{max: capacity}
+}
+
+// Push appends v, evicting the oldest element at capacity.
+func (r *Ring[T]) Push(v T) {
+	if len(r.buf) < r.max {
+		r.buf = append(r.buf, v)
+		return
+	}
+	r.buf[r.start] = v
+	r.start = (r.start + 1) % r.max
+}
+
+// Len returns the number of retained elements.
+func (r *Ring[T]) Len() int { return len(r.buf) }
+
+// Items returns the retained elements, oldest first.
+func (r *Ring[T]) Items() []T {
+	out := make([]T, 0, len(r.buf))
+	out = append(out, r.buf[r.start:]...)
+	out = append(out, r.buf[:r.start]...)
+	return out
+}

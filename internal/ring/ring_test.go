@@ -1,0 +1,55 @@
+package ring
+
+import "testing"
+
+func TestRingBelowCapacityKeepsOrder(t *testing.T) {
+	r := New[int](4)
+	for i := 1; i <= 3; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	got := r.Items()
+	for i, want := range []int{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("Items = %v", got)
+		}
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := New[int](3)
+	for i := 1; i <= 7; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	got := r.Items()
+	for i, want := range []int{5, 6, 7} {
+		if got[i] != want {
+			t.Fatalf("Items = %v, want [5 6 7]", got)
+		}
+	}
+}
+
+func TestRingWrapMidway(t *testing.T) {
+	r := New[string](2)
+	r.Push("a")
+	r.Push("b")
+	r.Push("c") // evicts a
+	got := r.Items()
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("Items = %v, want [b c]", got)
+	}
+}
+
+func TestRingZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New[int](0)
+}

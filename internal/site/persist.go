@@ -8,6 +8,7 @@ import (
 	"causalgc/internal/heap"
 	"causalgc/internal/ids"
 	"causalgc/internal/netsim"
+	"causalgc/internal/ring"
 	"causalgc/internal/wire"
 	"causalgc/persist"
 )
@@ -205,8 +206,7 @@ func Recover(id ids.SiteID, net netsim.Network, opts Options, j *Persist) (*Runt
 	r.replaying = false
 	buffered := r.recoverBuf
 	r.recoverBuf = nil
-	resend := make([]outboundFrame, len(r.outbox))
-	copy(resend, r.outbox)
+	resend := r.outbox.Items()
 	r.mu.Unlock()
 	for _, d := range buffered {
 		r.handle(d.from, d.p)
@@ -275,6 +275,7 @@ func restoreRuntime(net netsim.Network, opts Options, img *wire.SiteImage) (*Run
 		opts:        opts,
 		pendingRefs: make(map[ids.ObjectID][]pendingRef),
 		seenIntro:   make(map[introKey]struct{}, len(img.SeenIntro)),
+		outbox:      ring.New[outboundFrame](maxOutbox),
 		mint:        img.Mint,
 		removals:    img.Removals,
 	}
@@ -296,7 +297,7 @@ func restoreRuntime(net netsim.Network, opts Options, img *wire.SiteImage) (*Run
 		r.seenIntro[introKey{intro: in.Intro, seq: in.Seq}] = struct{}{}
 	}
 	for _, f := range img.Outbox {
-		r.outbox = append(r.outbox, outboundFrame{to: f.To, p: f.Payload})
+		r.outbox.Push(outboundFrame{to: f.To, p: f.Payload})
 	}
 	return r, nil
 }
@@ -326,7 +327,7 @@ func (r *Runtime) exportImageLocked() (*wire.SiteImage, error) {
 		img.SeenIntro = append(img.SeenIntro, wire.IntroImage{Intro: k.intro, Seq: k.seq})
 	}
 	sortIntros(img.SeenIntro)
-	for _, f := range r.outbox {
+	for _, f := range r.outbox.Items() {
 		img.Outbox = append(img.Outbox, wire.FrameImage{To: f.to, Payload: f.p})
 	}
 	return img, nil

@@ -18,6 +18,7 @@ import (
 	"causalgc/internal/heap"
 	"causalgc/internal/ids"
 	"causalgc/internal/netsim"
+	"causalgc/internal/ring"
 	"causalgc/internal/vclock"
 	"causalgc/internal/wire"
 )
@@ -120,8 +121,10 @@ type Runtime struct {
 	// forwarding-seq), making recovery resends idempotent.
 	seenIntro map[introKey]struct{}
 	// outbox retains recent outbound mutator frames for recovery resend
-	// (populated only when a journal is attached).
-	outbox []outboundFrame
+	// (populated only when a journal is attached): a fixed-capacity
+	// overwrite-oldest ring, O(1) per append, exported oldest-first so
+	// the wire.SiteImage round-trip order stays stable.
+	outbox *ring.Ring[outboundFrame]
 	// closed freezes the runtime: deliveries are dropped (tolerated
 	// loss) so introspection keeps answering from an unchanging state.
 	closed bool
@@ -144,6 +147,7 @@ func newRuntime(id ids.SiteID, net netsim.Network, opts Options) *Runtime {
 		opts:        opts,
 		pendingRefs: make(map[ids.ObjectID][]pendingRef),
 		seenIntro:   make(map[introKey]struct{}),
+		outbox:      ring.New[outboundFrame](maxOutbox),
 	}
 	r.engine = core.New(id, (*sender)(r), r.onRemove, opts.Engine)
 	r.heap = heap.New(id, (*hooks)(r))
@@ -185,6 +189,10 @@ func (s *sender) SendDestroy(from, to ids.ClusterID, m core.DestroyMsg) {
 
 func (s *sender) SendAssert(from, to ids.ClusterID, m core.AssertMsg) {
 	s.net.Send(s.id, to.Site, wire.Assert{From: from, To: to, M: m})
+}
+
+func (s *sender) SendAck(from, to ids.ClusterID, m core.AckMsg) {
+	s.net.Send(s.id, to.Site, wire.HintAck{From: from, To: to, M: m})
 }
 
 func (s *sender) SendPropagate(from, to ids.ClusterID, m core.Propagation) {
@@ -263,6 +271,8 @@ func (r *Runtime) dispatchLocked(_ ids.SiteID, p netsim.Payload) {
 		r.engine.HandlePropagate(m.To, m.From, m.M)
 	case wire.Assert:
 		r.engine.HandleAssert(m.To, m.From, m.M)
+	case wire.HintAck:
+		r.engine.HandleAck(m.To, m.From, m.M)
 	}
 	r.settleLocked()
 }
@@ -295,13 +305,20 @@ func (r *Runtime) recordOutboundLocked(to ids.SiteID, p netsim.Payload) {
 	if r.journal == nil {
 		return
 	}
-	if len(r.outbox) >= maxOutbox {
-		r.outbox = append(r.outbox[:0], r.outbox[1:]...)
-	}
-	r.outbox = append(r.outbox, outboundFrame{to: to, p: p})
+	r.outbox.Push(outboundFrame{to: to, p: p})
 }
 
 func (r *Runtime) handleCreate(m wire.Create) {
+	if r.engine.Removed(m.Cluster) {
+		// A duplicate or recovery-re-sent creation of a cluster GGD has
+		// already removed: applying it would resurrect a zombie object —
+		// the swept cluster shell is gone, so the heap would rebuild a
+		// live-looking cluster and pin the object as an entry root
+		// forever, while the tombstoned engine process can never issue a
+		// second verdict. Dropping is the idempotent outcome: the first
+		// creation was fully processed and reclaimed.
+		return
+	}
 	r.engine.HandleCreate(m.Cluster, m.Creator, m.Stamp)
 	o, err := r.heap.NewObjectAt(m.Obj, m.Cluster)
 	if err != nil {
@@ -334,9 +351,18 @@ func (r *Runtime) handleRefTransfer(m wire.RefTransfer) {
 		r.seenIntro[k] = struct{}{}
 	}
 	if r.heap.Object(m.ToObj) == nil {
+		if m.ToCluster.Valid() && (r.engine.Registered(m.ToCluster) || r.engine.Removed(m.ToCluster)) {
+			// The holder's cluster is known here but the object is gone:
+			// an object can only be named after its creation was
+			// processed (which registers the cluster), so the holder was
+			// collected and this introduction can never form its edge.
+			// Expire it at the hint's owner instead of parking the frame
+			// forever.
+			r.engine.ResolveIntroduction(m.ToCluster, m.Target.Cluster, m.FromCluster, m.IntroSeq)
+			return
+		}
 		// The holder's creation message has not arrived yet (different
-		// sender): buffer and replay. If the holder was already collected,
-		// the buffered entry is dropped with the next sweep of the map.
+		// sender): buffer and replay on creation.
 		r.pendingRefs[m.ToObj] = append(r.pendingRefs[m.ToObj], pendingRef{
 			target: m.Target, intro: m.FromCluster, introSeq: m.IntroSeq,
 		})
@@ -512,6 +538,7 @@ func (r *Runtime) SendRef(fromObj ids.ObjectID, to heap.Ref, target heap.Ref) er
 		FromCluster: fo.Cluster(),
 		IntroSeq:    seq,
 		ToObj:       to.Obj,
+		ToCluster:   to.Cluster,
 		Target:      target,
 	}
 	r.net.Send(r.id, to.Obj.Site, xfer)

@@ -22,6 +22,26 @@ import (
 // (old gossip), while a genuinely new forwarding (seq > n) re-arms. This
 // is what closes the re-creation race: an Ē stamp can never silently mask
 // a newer in-flight introduction.
+//
+// Hints are stamped: the sequence number stored per (col, intro) IS the
+// introducer's event stamp for the forwarding, drawn from the
+// introducer's totally-ordered clock. That stamp is what makes the two
+// resolution paths provably causally ordered:
+//
+//   - Clear — the edge's source speaks. An edge-assert or a destruction
+//     bundle from col carries (intro, seq) records the source consumed,
+//     issued causally after the forwarded reference arrived.
+//   - Expire — the introduction is provably dead. The forwarded
+//     reference was delivered to col's site and discarded there without
+//     an edge ever forming (holder object already collected, cluster
+//     tombstoned), so no event of col can ever consume it. col's site
+//     reports this with a stampless (negative) assert for exactly
+//     (intro, seq); anything col's edge did do — form earlier, form
+//     later under a fresher forwarding — carries its own stamp or its
+//     own seq and is unaffected by the expiry bound.
+//
+// Both record the same resolution bound, so stale gossip can re-arm
+// neither a resolved nor an expired introduction.
 type HintSet struct {
 	pending map[ids.ClusterID]Vector // col → intro → seq
 	cleared map[ids.ClusterID]Vector // col → intro → resolved-up-to seq
@@ -71,6 +91,29 @@ func (h *HintSet) Clear(col, intro ids.ClusterID, seq uint64) bool {
 		}
 	}
 	return changed
+}
+
+// Expire is the hint-expiry rule: it clears hints (col, intro, ≤ seq)
+// whose introduction is provably stale — the forwarded reference reached
+// col's site and was discarded without the edge ever forming, so no word
+// of col will ever consume it. The mechanism is the shared resolution
+// bound (an expired introduction must suppress stale re-arms exactly
+// like a consumed one); the rule — who may invoke it, and on what
+// evidence — is the caller's obligation: only col's own site, for a
+// delivered forwarding it discarded. It reports whether anything
+// changed.
+func (h *HintSet) Expire(col, intro ids.ClusterID, seq uint64) bool {
+	return h.Clear(col, intro, seq)
+}
+
+// ResolvedThrough returns the resolution bound recorded for (col,
+// intro): the highest forwarding sequence known consumed or expired
+// (zero if none).
+func (h *HintSet) ResolvedThrough(col, intro ids.ClusterID) uint64 {
+	if c := h.cleared[col]; c != nil {
+		return c.Get(intro).Seq
+	}
+	return 0
 }
 
 // Has reports whether any hint is pending for col.

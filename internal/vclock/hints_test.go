@@ -82,6 +82,43 @@ func TestHintSetColsSortedAndString(t *testing.T) {
 	}
 }
 
+func TestHintSetExpire(t *testing.T) {
+	h := NewHintSet()
+	h.Arm(c3, c2, 5)
+	if !h.Expire(c3, c2, 5) {
+		t.Fatal("Expire must report change")
+	}
+	if h.Has(c3) {
+		t.Error("expired hint still pending")
+	}
+	if got := h.ResolvedThrough(c3, c2); got != 5 {
+		t.Errorf("ResolvedThrough = %d, want 5", got)
+	}
+	// The expiry bound suppresses stale re-arms exactly like Clear.
+	if h.Arm(c3, c2, 4) || h.Has(c3) {
+		t.Error("stale re-arm not suppressed by the expiry bound")
+	}
+	// A fresher forwarding (a new introduction of the same pair) is not
+	// covered by the bound and arms again.
+	if !h.Arm(c3, c2, 6) || !h.Has(c3) {
+		t.Error("fresher forwarding wrongly expired")
+	}
+}
+
+func TestHintSetExpireBeforeArm(t *testing.T) {
+	// The expiry may race ahead of the arming (the negative assert is
+	// issued the moment the dead transfer is delivered, the arming bundle
+	// can arrive later): the bound must already suppress it.
+	h := NewHintSet()
+	if h.ResolvedThrough(c3, c2) != 0 {
+		t.Fatal("fresh set has a bound")
+	}
+	h.Expire(c3, c2, 5)
+	if h.Arm(c3, c2, 5) || h.Has(c3) {
+		t.Error("arming after expiry not suppressed")
+	}
+}
+
 func TestHintSetClone(t *testing.T) {
 	h := NewHintSet()
 	h.Arm(c3, c2, 5)

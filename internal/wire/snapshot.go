@@ -26,7 +26,10 @@ import (
 
 // SnapshotVersion is bumped when SiteImage changes incompatibly; a
 // recovery over a mismatching version fails rather than misdecodes.
-const SnapshotVersion = 1
+// Version 2 added the hint-resolution protocol's durable state (the
+// engine's assert re-send journal and retained finalisation bundles,
+// RefTransfer.ToCluster inside stored frames).
+const SnapshotVersion = 2
 
 // SiteImage is the full durable state of one site at a quiescent point.
 type SiteImage struct {
@@ -151,6 +154,7 @@ func init() {
 	gob.Register(RefTransfer{})
 	gob.Register(Destroy{})
 	gob.Register(Assert{})
+	gob.Register(HintAck{})
 	gob.Register(Propagate{})
 }
 

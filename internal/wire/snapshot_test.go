@@ -57,6 +57,17 @@ func sampleImage() *SiteImage {
 				To: cl2, From: cl3, Kind: 1,
 				Destroy: core.DestroyMsg{Auth: vclock.Vector{cl3: vclock.Eps(6)}},
 			}},
+			Asserts: []core.AssertRowImage{
+				{Holder: cl2, Target: cl3, Intro: root, Seq: 11, Stamp: 16},
+				{Holder: ids.ClusterID{Site: 2, Seq: 3}, Target: cl3, Intro: root, Seq: 12, Stamp: 0},
+			},
+			Legacy: []core.LegacyImage{{
+				From: ids.ClusterID{Site: 2, Seq: 3}, To: cl3,
+				M: core.DestroyMsg{
+					Auth:      vclock.Vector{{Site: 2, Seq: 3}: vclock.Eps(20)},
+					Processed: vclock.Vector{root: vclock.At(11)},
+				},
+			}},
 		},
 		PendingRefs: []PendingRefImage{{
 			Holder: ids.ObjectID{Site: 2, Seq: 99}, Target: heap.Ref{Obj: obj, Cluster: cl2}, Intro: cl3, IntroSeq: 11,
@@ -64,7 +75,7 @@ func sampleImage() *SiteImage {
 		SeenIntro: []IntroImage{{Intro: cl3, Seq: 11}},
 		Outbox: []FrameImage{
 			{To: 3, Payload: Create{Creator: cl2, Stamp: 17, Obj: ids.ObjectID{Site: 3, Seq: 40}, Cluster: ids.ClusterID{Site: 3, Seq: 40}}},
-			{To: 3, Payload: RefTransfer{FromCluster: cl2, IntroSeq: 12, ToObj: ids.ObjectID{Site: 3, Seq: 2}, Target: heap.Ref{Obj: obj, Cluster: cl2}}},
+			{To: 3, Payload: RefTransfer{FromCluster: cl2, IntroSeq: 12, ToObj: ids.ObjectID{Site: 3, Seq: 2}, ToCluster: cl3, Target: heap.Ref{Obj: obj, Cluster: cl2}}},
 		},
 	}
 }
@@ -118,8 +129,39 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if c, ok := got.Outbox[0].Payload.(Create); !ok || c.Stamp != 17 {
 		t.Fatalf("outbox[0] payload mismatch: %#v", got.Outbox[0].Payload)
 	}
-	if r, ok := got.Outbox[1].Payload.(RefTransfer); !ok || r.IntroSeq != 12 {
+	if r, ok := got.Outbox[1].Payload.(RefTransfer); !ok || r.IntroSeq != 12 || !r.ToCluster.Valid() {
 		t.Fatalf("outbox[1] payload mismatch: %#v", got.Outbox[1].Payload)
+	}
+	if len(got.Engine.Asserts) != 2 || got.Engine.Asserts[0] != img.Engine.Asserts[0] ||
+		got.Engine.Asserts[1].Stamp != 0 {
+		t.Fatalf("assert journal mismatch: %+v", got.Engine.Asserts)
+	}
+	if len(got.Engine.Legacy) != 1 ||
+		!got.Engine.Legacy[0].M.Processed.Equal(img.Engine.Legacy[0].M.Processed) {
+		t.Fatalf("legacy bundles mismatch: %+v", got.Engine.Legacy)
+	}
+}
+
+func TestRecordRoundTripHintAck(t *testing.T) {
+	rec := &WALRecord{Deliver: &DeliverRecord{From: 3, Payload: HintAck{
+		From: ids.ClusterID{Site: 3, Seq: 9},
+		To:   ids.ClusterID{Site: 2, Seq: 7},
+		M:    core.AckMsg{Intro: ids.ClusterID{Site: 1, Seq: 1, Root: true}, IntroSeq: 4, Stamp: 5},
+	}}}
+	data, err := EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, ok := got.Deliver.Payload.(HintAck)
+	if !ok {
+		t.Fatalf("payload = %#v, want HintAck", got.Deliver.Payload)
+	}
+	if ack != rec.Deliver.Payload.(HintAck) {
+		t.Fatalf("round trip mismatch: %+v != %+v", ack, rec.Deliver.Payload)
 	}
 }
 

@@ -26,6 +26,7 @@ const (
 	KindDestroy   = "ggd.destroy"
 	KindPropagate = "ggd.prop"
 	KindAssert    = "ggd.assert"
+	KindAck       = "ggd.ack"
 )
 
 // Create asks the destination site to materialise a new object referenced
@@ -66,6 +67,13 @@ type RefTransfer struct {
 	IntroSeq uint64
 	// ToObj is the receiving object; its site is the destination.
 	ToObj ids.ObjectID
+	// ToCluster is ToObj's cluster, as known to the sender. It lets the
+	// destination prove a dead introduction: if the cluster is known
+	// there (registered or tombstoned) but the object is gone, the
+	// holder was collected and the edge can never form — the receiving
+	// site then expires the introduction instead of parking the frame
+	// forever (core.Engine.ResolveIntroduction).
+	ToCluster ids.ClusterID
 	// Target is the reference being copied.
 	Target heap.Ref
 }
@@ -78,7 +86,7 @@ func (RefTransfer) Kind() string { return KindRef }
 func (RefTransfer) ApplicationTraffic() bool { return true }
 
 // ApproxSize implements netsim.Payload.
-func (RefTransfer) ApproxSize() int { return 56 }
+func (RefTransfer) ApproxSize() int { return 72 }
 
 // Destroy is the edge-destruction control message (§3.4): sent when the
 // last reference from From's cluster to To's cluster is destroyed, and by
@@ -116,6 +124,22 @@ func (Assert) Kind() string { return KindAssert }
 // ApproxSize implements netsim.Payload.
 func (Assert) ApproxSize() int { return 56 }
 
+// HintAck is the acknowledgement of an edge-assert: the hint's owner
+// echoes the assert's identity back to the asserting cluster, which
+// retires the matching re-send journal row. Loss-tolerant — a lost ack
+// costs one redundant re-send on the next refresh round.
+type HintAck struct {
+	From ids.ClusterID
+	To   ids.ClusterID
+	M    core.AckMsg
+}
+
+// Kind implements netsim.Payload.
+func (HintAck) Kind() string { return KindAck }
+
+// ApproxSize implements netsim.Payload.
+func (HintAck) ApproxSize() int { return 56 }
+
 // Propagate circulates increasingly accurate approximations of dependency
 // vectors along the out-edges of the global root graph (§3.3, step 3 of
 // the algorithm): the sender's first-hand incoming-edge vector and clock,
@@ -151,6 +175,7 @@ var (
 	_ netsim.Payload     = Destroy{}
 	_ netsim.Payload     = Propagate{}
 	_ netsim.Payload     = Assert{}
+	_ netsim.Payload     = HintAck{}
 	_ netsim.Application = Create{}
 	_ netsim.Application = RefTransfer{}
 )

@@ -50,6 +50,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Sentinel errors. Match with errors.Is.
@@ -71,6 +72,21 @@ type Options struct {
 	// which weakens the "nothing sent before durable" invariant the
 	// recovery argument rests on. Reserved for benchmarks and simulation.
 	NoSync bool
+	// GroupCommit batches fsync across the append stream: Append writes
+	// every record immediately but syncs only when this window has
+	// elapsed since the last sync; a background flusher, Close, Flush,
+	// WriteSnapshot and segment rotation drain the remainder. A
+	// *process* crash (kill -9 included) cannot lose page-cache writes,
+	// so it keeps full write-ahead semantics. An *OS* crash may lose up
+	// to one window of the newest records — and because the caller acts
+	// on Append before the deferred sync, messages derived from those
+	// records may already have escaped, weakening the write-ahead
+	// invariant exactly as NoSync does, just bounded to a window
+	// instead of unbounded. The trade buys an order of magnitude on the
+	// per-record durability tax (see BenchmarkWALAppend); reserve it
+	// for deployments that accept the OS-crash exposure. Zero keeps
+	// per-record fsync; ignored when NoSync is set.
+	GroupCommit time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -97,6 +113,9 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 type Stats struct {
 	// Appends counts records appended in this session.
 	Appends int
+	// Syncs counts WAL fsyncs in this session; with group commit it
+	// trails Appends, quantifying the batching.
+	Syncs int
 	// Snapshots counts snapshots written in this session.
 	Snapshots int
 	// RecoveredRecords counts WAL records recovered at Open.
@@ -123,6 +142,14 @@ type Store struct {
 	// then discard or reject.
 	failed error
 
+	// dirty marks group-commit-deferred writes awaiting fsync; lastSync
+	// is when the segment was last synced (group-commit mode only).
+	dirty    bool
+	lastSync time.Time
+	// flushQuit stops the background flusher that bounds how long an
+	// idle store's deferred tail stays unsynced (group-commit mode).
+	flushQuit chan struct{}
+
 	snapshot []byte   // recovered snapshot body (nil if none)
 	wal      [][]byte // recovered WAL records of the live generation
 	stats    Stats
@@ -140,7 +167,33 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
+	if opts.GroupCommit > 0 && !opts.NoSync {
+		// Without this, a burst followed by idleness would leave the
+		// deferred tail unsynced indefinitely — the documented exposure
+		// is one *window*, by wall clock, not one quiet period.
+		s.flushQuit = make(chan struct{})
+		go s.flushLoop(s.flushQuit)
+	}
 	return s, nil
+}
+
+// flushLoop fsyncs group-commit-deferred writes once per window while
+// the store is idle. Stopped by Close.
+func (s *Store) flushLoop(quit <-chan struct{}) {
+	t := time.NewTicker(s.opts.GroupCommit)
+	defer t.Stop()
+	for {
+		select {
+		case <-quit:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed && s.failed == nil {
+				_ = s.flushLocked() // a failure poisons; the next Append surfaces it
+			}
+			s.mu.Unlock()
+		}
+	}
 }
 
 // Snapshot returns the recovered snapshot body, or nil when the store
@@ -197,7 +250,24 @@ func (s *Store) Append(payload []byte) error {
 		s.rollbackTornWriteLocked()
 		return fmt.Errorf("persist: append: %w", err)
 	}
-	if !s.opts.NoSync {
+	switch {
+	case s.opts.NoSync:
+	case s.opts.GroupCommit > 0:
+		// Group commit: defer the fsync until the window elapses. The
+		// record is written (a process crash keeps it); only an OS crash
+		// can lose the unsynced window.
+		s.dirty = true
+		if time.Since(s.lastSync) >= s.opts.GroupCommit {
+			if err := s.flushLocked(); err != nil {
+				// This frame's Append reports failure, so it must not
+				// survive into recovery: roll it back (earlier frames of
+				// the batch reported success and stay; the poisoned
+				// store refuses further appends either way).
+				s.rollbackTornWriteLocked()
+				return err
+			}
+		}
+	default:
 		if err := s.seg.Sync(); err != nil {
 			// The frame is in the file but not provably durable: roll it
 			// back so the caller's "append failed ⇒ event never happened"
@@ -205,10 +275,44 @@ func (s *Store) Append(payload []byte) error {
 			s.rollbackTornWriteLocked()
 			return fmt.Errorf("persist: sync: %w", err)
 		}
+		s.stats.Syncs++
 	}
 	s.segSize += int64(len(frame))
 	s.stats.Appends++
 	return nil
+}
+
+// flushLocked fsyncs group-commit-deferred writes. A failed flush
+// poisons the store: the batch cannot be rolled back record-by-record,
+// and continuing past unprovable durability would break the write-ahead
+// argument. A later successful snapshot supersedes and un-poisons.
+func (s *Store) flushLocked() error {
+	if !s.dirty || s.seg == nil {
+		s.dirty = false
+		return nil
+	}
+	if err := s.seg.Sync(); err != nil {
+		s.failed = fmt.Errorf("persist: group-commit flush failed: %w", err)
+		return s.failed
+	}
+	s.dirty = false
+	s.lastSync = time.Now()
+	s.stats.Syncs++
+	return nil
+}
+
+// Flush forces any group-commit-deferred fsync now. A no-op in the
+// per-record and NoSync modes.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.failed != nil {
+		return s.failed
+	}
+	return s.flushLocked()
 }
 
 // rollbackTornWriteLocked removes a possibly-partial frame from the
@@ -260,11 +364,13 @@ func (s *Store) WriteSnapshot(payload []byte) error {
 	if !s.opts.NoSync {
 		syncDir(s.dir)
 	}
-	// The snapshot is the commit point; everything below is cleanup.
+	// The snapshot is the commit point; everything below is cleanup. Any
+	// group-commit-deferred writes belong to the superseded generation.
 	if s.seg != nil {
 		s.seg.Close()
 		s.seg = nil
 	}
+	s.dirty = false
 	oldGen := s.gen
 	s.gen = newGen
 	s.seq = 0
@@ -287,9 +393,18 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.flushQuit != nil {
+		close(s.flushQuit)
+	}
 	if s.seg != nil {
+		// Flush group-commit-deferred writes so a clean Close loses
+		// nothing even to an OS crash right after.
+		ferr := s.flushLocked()
 		err := s.seg.Close()
 		s.seg = nil
+		if err == nil {
+			err = ferr
+		}
 		return err
 	}
 	return nil
@@ -306,6 +421,12 @@ func segName(gen, seq uint64) string {
 // rotateLocked opens the next WAL segment of the current generation.
 func (s *Store) rotateLocked() error {
 	if s.seg != nil {
+		// A rotated-away segment is no longer the generation's tail, so
+		// recovery reads it strictly: group-commit-deferred writes must
+		// be durable before it is sealed.
+		if err := s.flushLocked(); err != nil {
+			return err
+		}
 		if err := s.seg.Close(); err != nil {
 			return fmt.Errorf("persist: rotate: %w", err)
 		}

@@ -40,5 +40,5 @@ func (g *closeGate) close() bool {
 }
 
 func persistStoreOptions(c config) persist.Options {
-	return persist.Options{NoSync: c.noSync}
+	return persist.Options{NoSync: c.noSync, GroupCommit: c.groupCommit}
 }

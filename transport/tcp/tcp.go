@@ -48,6 +48,7 @@ func init() {
 	gob.Register(wire.RefTransfer{})
 	gob.Register(wire.Destroy{})
 	gob.Register(wire.Assert{})
+	gob.Register(wire.HintAck{})
 	gob.Register(wire.Propagate{})
 }
 
