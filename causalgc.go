@@ -1,52 +1,3 @@
-// Package causalgc is the public API of the causalgc distributed garbage
-// collector: a reproduction-grown implementation of comprehensive Global
-// Garbage Detection (GGD) by tracking causal dependencies of relevant
-// mutator events (Louboutin & Cahill, ICDCS 1997). It detects and
-// reclaims all distributed garbage — cycles spanning any number of sites
-// included — without stop-the-world phases or global consensus, and
-// tolerates loss, duplication and reordering of its control messages.
-//
-// # Model
-//
-// The system is a set of sites, each an independent address space with
-// its own heap, local mark-sweep collector and GGD engine. Objects are
-// containers of reference slots; references may cross site boundaries.
-// Applications drive the mutator API of Node: create objects locally or
-// on remote sites, copy held references to other objects (including
-// third-party transfers), and drop them. Everything else — lazy
-// log-keeping, dependency-vector propagation, garbage detection and
-// reclamation — happens underneath.
-//
-// # Quickstart
-//
-// A Node is one site; a Cluster assembles several over a shared
-// transport. The default Cluster transport is the deterministic
-// in-memory simulator, which makes runs reproducible:
-//
-//	c := causalgc.NewCluster(3)
-//	defer c.Close()
-//	n1 := c.Node(1)
-//	a, _ := n1.NewRemote(n1.Root().Obj, 2) // object on site 2
-//	c.Run()                                // deliver messages
-//	b, _ := c.Node(2).NewRemote(a.Obj, 3)  // object on site 3
-//	c.Run()
-//	c.Node(2).SendRef(a.Obj, b, a)         // cycle a ⇄ b across sites
-//	c.Run()
-//	n1.DropRefs(n1.Root().Obj, a)          // now {a,b} is distributed garbage
-//	c.Settle()                             // GGD detects and reclaims it
-//
-// The same engine runs over real sockets: build each Node in its own
-// process with WithTransport(tcp.New(...)) — see transport/tcp and
-// cmd/causalgc-node.
-//
-// # Structure
-//
-// Public packages: causalgc (Node, Cluster, workloads, oracle checks),
-// causalgc/transport (the Transport interface and in-memory backends),
-// causalgc/transport/tcp (the socket backend) and causalgc/eval (the
-// experiment harness reproducing the paper's evaluation). The protocol
-// internals live under internal/ — see DESIGN.md for the algorithm
-// reconstruction and README.md for the package map.
 package causalgc
 
 import (
@@ -104,6 +55,33 @@ type Report = oracle.Report
 // GGD and local collections. Callbacks run with the node's internal lock
 // held — they must be fast and must not call back into the Node.
 type Observer = site.Observer
+
+// AckObserver is an optional extension of Observer: an Observer that
+// also implements it receives acknowledged-retirement events — frames
+// retired exactly by a peer's cumulative FrameAck, and frames dropped
+// at a hard-cap backstop (tolerated loss that would otherwise be
+// silent). Same callback rules as Observer.
+type AckObserver = site.AckObserver
+
+// FrameStats counts a node's acknowledged-retirement activity: the
+// outbox gauge and its backstop evictions, FrameAck traffic, retired
+// frames, damper suppressions and floor advisories. See Node.FrameStats.
+type FrameStats = site.FrameStats
+
+// Stream identifies one acknowledged-retirement stream between a pair
+// of sites (DESIGN.md §3.2); AckObserver callbacks name the stream a
+// frame belonged to.
+type Stream = core.Stream
+
+// The retirement streams: retained outbound mutator frames, journaled
+// edge-asserts, destroyed-edge bundles, and retained finalisation
+// bundles of removed clusters.
+const (
+	StreamMut     = core.StreamMut
+	StreamAssert  = core.StreamAssert
+	StreamDestroy = core.StreamDestroy
+	StreamLegacy  = core.StreamLegacy
+)
 
 // Check runs the global reachability oracle over the given nodes: ground
 // truth no real site can compute, for tests and demos. All nodes of the

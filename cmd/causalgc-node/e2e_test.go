@@ -71,6 +71,10 @@ func startNode(t *testing.T, name, bin string, args ...string) *proc {
 		t.Fatalf("start %s: %v", name, err)
 	}
 	go func() {
+		// Drain to EOF before calling Wait: Wait closes the pipe, and
+		// calling it concurrently with the scanner can discard the
+		// process's final burst of output (the exec.Cmd.StdoutPipe
+		// contract), losing exactly the lines waitLine asserts on.
 		sc := bufio.NewScanner(stdout)
 		for sc.Scan() {
 			line := sc.Text()
@@ -79,8 +83,8 @@ func startNode(t *testing.T, name, bin string, args ...string) *proc {
 			p.mu.Unlock()
 			t.Logf("[%s] %s", name, line)
 		}
+		p.done <- p.cmd.Wait()
 	}()
-	go func() { p.done <- p.cmd.Wait() }()
 	return p
 }
 

@@ -1,0 +1,139 @@
+package causalgc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// docLintPackages are the packages whose exported surface must be fully
+// documented: the public API and the load-bearing internals, so that
+// `go doc` tells the protocol story end to end. CI runs this test as
+// the docs-lint step.
+var docLintPackages = []string{
+	".",
+	"transport",
+	"transport/tcp",
+	"persist",
+	"eval",
+	"internal/core",
+	"internal/site",
+	"internal/vclock",
+	"internal/wire",
+}
+
+// TestDocComments fails on any exported identifier in the lint set that
+// lacks a doc comment: package clause, top-level types, funcs, methods
+// on exported receivers, and var/const declarations (a documented group
+// covers its members).
+func TestDocComments(t *testing.T) {
+	for _, dir := range docLintPackages {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			lintPackage(t, fset, dir, pkg)
+		}
+	}
+}
+
+func lintPackage(t *testing.T, fset *token.FileSet, dir string, pkg *ast.Package) {
+	t.Helper()
+	hasPkgDoc := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc {
+		t.Errorf("%s: package %s has no package doc comment", dir, pkg.Name)
+	}
+	for name, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedReceiver(d) {
+					continue
+				}
+				if d.Doc == nil || len(strings.TrimSpace(d.Doc.Text())) == 0 {
+					t.Errorf("%s: exported %s lacks a doc comment", pos(fset, name, d.Pos()), funcLabel(d))
+				}
+			case *ast.GenDecl:
+				lintGenDecl(t, fset, name, d)
+			}
+		}
+	}
+}
+
+// lintGenDecl checks type/var/const declarations: each exported spec
+// needs a doc comment on the spec or on its enclosing group.
+func lintGenDecl(t *testing.T, fset *token.FileSet, file string, d *ast.GenDecl) {
+	t.Helper()
+	if d.Tok == token.IMPORT {
+		return
+	}
+	groupDoc := d.Doc != nil && len(strings.TrimSpace(d.Doc.Text())) > 0
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if !groupDoc && (s.Doc == nil || len(strings.TrimSpace(s.Doc.Text())) == 0) {
+				t.Errorf("%s: exported type %s lacks a doc comment", pos(fset, file, s.Pos()), s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if !n.IsExported() {
+					continue
+				}
+				if !groupDoc && (s.Doc == nil || len(strings.TrimSpace(s.Doc.Text())) == 0) &&
+					(s.Comment == nil || len(strings.TrimSpace(s.Comment.Text())) == 0) {
+					t.Errorf("%s: exported %s %s lacks a doc comment", pos(fset, file, s.Pos()), d.Tok, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (functions have no receiver and always count).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch x := typ.(type) {
+		case *ast.StarExpr:
+			typ = x.X
+		case *ast.IndexExpr: // generic receiver
+			typ = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcLabel names a func or method for the failure message.
+func funcLabel(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "func " + d.Name.Name
+	}
+	return fmt.Sprintf("method %s", d.Name.Name)
+}
+
+// pos renders a file:line reference.
+func pos(fset *token.FileSet, _ string, p token.Pos) string {
+	return fset.Position(p).String()
+}

@@ -1,14 +1,3 @@
-// Package eval is the experiment harness of the reproduction: it
-// regenerates the quantitative content of EXPERIMENTS.md — each
-// experiment corresponding to a figure, claim or comparison in the
-// paper's evaluation (see DESIGN.md §4 for the index) — including the
-// comparisons against the Schelvis timestamp-packet collector and a
-// stop-the-world distributed tracer, whose implementations live under
-// internal/baseline.
-//
-// The cmd/causalgc-bench binary is a thin front-end over this package;
-// the root package's go test benchmarks report the same quantities as
-// benchmark metrics.
 package eval
 
 import (
@@ -312,6 +301,72 @@ func E9(w io.Writer) bool {
 	}
 	fmt.Fprintln(w, "safety is unconditional (dangling always 0); refresh rounds drive residual to 0")
 	fmt.Fprintln(w)
+	ok = e9SteadyState(w) && ok
+	return ok
+}
+
+// e9SteadyState measures the steady-state cost of refresh rounds under
+// the acknowledged-retirement protocol (DESIGN.md §3.2): after a
+// fault-free workload settles and its FrameAcks drain, each further
+// refresh round must re-ship ZERO retained rows — journaled asserts,
+// destroyed-edge bundles, legacy finalisation bundles, outbox frames —
+// and its destroy/assert wire traffic must be zero bytes. Before the
+// protocol every round re-shipped the full journal and bundle set, so
+// steady-state refresh traffic grew with history; now it converges.
+func e9SteadyState(w io.Writer) bool {
+	fmt.Fprintln(w, "-- E9b: steady-state refresh traffic (re-shipped state → 0 after quiescence) --")
+	dir, err := os.MkdirTemp("", "causalgc-e9b-*")
+	if err != nil {
+		fmt.Fprintln(w, "error:", err)
+		return false
+	}
+	defer os.RemoveAll(dir)
+	wd, err := sim.NewDurableWorld(4, netsim.Faults{Seed: 3}, site.DefaultOptions(), dir, 64)
+	if err != nil {
+		fmt.Fprintln(w, "error:", err)
+		return false
+	}
+	defer wd.Close()
+	if _, err := mutator.Churn(wd, mutator.ChurnConfig{Seed: 19, Ops: 150, StepsBetweenOps: 2}); err != nil {
+		fmt.Fprintln(w, "error:", err)
+		return false
+	}
+	if err := wd.Settle(); err != nil {
+		fmt.Fprintln(w, "error:", err)
+		return false
+	}
+	reshipped := func() int {
+		n := 0
+		for _, s := range wd.Sites() {
+			es := s.EngineStats()
+			n += es.AssertResends + es.DestroyResends + es.LegacyResends
+			n += s.FrameStats().OutboxResends
+		}
+		return n
+	}
+	st := wd.Net().Stats()
+	ctlBytes := func() int {
+		_, _, _, _, d := st.Kind("ggd.destroy")
+		_, _, _, _, a := st.Kind("ggd.assert")
+		return d + a
+	}
+	fmt.Fprintf(w, "%8s %12s %16s\n", "round", "reshipped", "destroy+assert B")
+	lastRows, lastBytes := 0, 0
+	for round := 1; round <= 5; round++ {
+		rowsBefore, bytesBefore := reshipped(), ctlBytes()
+		if err := wd.RefreshAll(); err != nil {
+			fmt.Fprintln(w, "error:", err)
+			return false
+		}
+		if err := wd.Settle(); err != nil {
+			fmt.Fprintln(w, "error:", err)
+			return false
+		}
+		lastRows, lastBytes = reshipped()-rowsBefore, ctlBytes()-bytesBefore
+		fmt.Fprintf(w, "%8d %12d %16d\n", round, lastRows, lastBytes)
+	}
+	ok := lastRows == 0 && lastBytes == 0
+	fmt.Fprintf(w, "steady-state refresh re-ships nothing: %v\n\n", ok)
 	return ok
 }
 

@@ -1,0 +1,87 @@
+// Package core implements the paper's contribution: comprehensive Global
+// Garbage Detection (GGD) by reconstructing the vector times of the
+// mutator's log-keeping events (§3).
+//
+// One Engine runs per site and hosts one process per local cluster (global
+// root). The engine is driven by:
+//
+//   - lazy log-keeping hooks from the heap (EdgeUp/EdgeDown/SentRef, §3.4);
+//   - edge-assert control messages (HandleAssert) — see below;
+//   - edge-destruction control messages (HandleDestroy, §3.1);
+//   - dependency-vector propagations (HandlePropagate, §3.3 step 3);
+//   - explicit refresh rounds (Refresh), the §5 recovery mechanism;
+//   - cumulative frame acknowledgements relayed by the site runtime
+//     (AckAsserts, AckDestroys, AckLegacy — DESIGN.md §3.2).
+//
+// # Realisation of the paper's Fig 6
+//
+// The scanned pseudo-code is OCR-lossy; this implementation follows the
+// reconstruction documented in DESIGN.md §2. Stamps are edge-keyed: the
+// value in column q of a process's own vector concerns exactly the edge
+// q→process and lives in q's clock space, so merges are totally ordered
+// per edge and the logs converge monotonically.
+//
+// # The introduction race and edge-asserts
+//
+// The paper's sender-side third-party entries (DV_i[k][j]++, §3.4) are
+// counters in the *sender's* number space, while destruction stamps Ē are
+// in the *edge source's* clock space. Merging them by magnitude — as the
+// paper's max-merge does — lets an old Ē mask a newer in-flight
+// introduction of the same edge: process j drops its last reference to k
+// (Ē shipped), a third party's forwarded reference re-creates the edge
+// j→k, and k, having merged the bigger Ē over the small count, removes
+// itself while j holds a live reference. Randomised stress tests readily
+// find this race (demonstrated by the A2 ablation experiment).
+//
+// This implementation therefore keeps the two kinds of knowledge apart:
+//
+//   - Authoritative stamps: only the edge's source writes them (creation
+//     on acquisition, Ē on destruction), totally ordered per edge.
+//   - Introduction hints (col, introducer, forwarding-seq): conservative
+//     liveness recorded from bundles and gossip; a pending hint blocks a
+//     garbage verdict.
+//
+// A hint is resolved by the source's word issued causally after the
+// forwarded reference arrived: the source sends one small idempotent
+// edge-assert when it first acquires the reference, and its destruction
+// bundles carry the introductions it has processed. Asserts are deferred,
+// idempotent, loss-tolerant GGD-plane messages — the mutator's exchange
+// itself still carries no synchronous control traffic, preserving the
+// substance of the paper's lazy log-keeping claim (the assert count is
+// reported separately by every benchmark).
+//
+// # Hint resolution is guaranteed, not best-effort
+//
+// A pending hint blocks a garbage verdict, so an introduction that is
+// never resolved pins its owner forever — the one leak the engine used
+// to tolerate. Three mechanisms close it:
+//
+//   - Assert re-send: every edge-assert is journaled per (holder,
+//     target, introducer, forwarding-seq) until the owner's site
+//     acknowledges its frame (cumulative FrameAck, DESIGN.md §3.2);
+//     Refresh re-ships the journal alongside the destroyed-edge bundles,
+//     under the exponential re-send damper. Loss of an assert (or of
+//     its ack) costs refresh rounds, never the resolution.
+//   - Hint expiry: a forwarding whose reference was delivered and
+//     discarded without an edge ever forming — the holder object
+//     already collected, its cluster tombstoned — can never be consumed
+//     by the source's word. The receiving site expires it at the owner
+//     with a stampless negative assert for exactly that (introducer,
+//     forwarding-seq), journaled and re-sent like any other
+//     (ResolveIntroduction). Expiry is causally safe: the negative
+//     assert is issued after the delivery that proves no edge resulted,
+//     and a fresher forwarding carries a higher seq that the expiry
+//     bound does not cover.
+//   - Retained finalisation bundles: the destroy bundles a removed
+//     process sends carry the processed-introduction records that
+//     resolve its hints, but the process is gone — a lost bundle could
+//     not be re-shipped from its on-behalf rows. Removal therefore
+//     retains the bundles (bounded, acknowledged retirement) and
+//     Refresh re-sends the un-acknowledged remainder.
+//
+// Detection then proceeds exactly as in §3.6: GGD work starts when an
+// edge-destruction message arrives, first-hand vectors circulate along
+// the edges of the global root graph (with row gossip) until the logs
+// reach a fixpoint, and garbage removal cascades through finalisation
+// destroys — collecting distributed cycles without any global consensus.
+package core

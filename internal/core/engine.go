@@ -1,85 +1,3 @@
-// Package core implements the paper's contribution: comprehensive Global
-// Garbage Detection (GGD) by reconstructing the vector times of the
-// mutator's log-keeping events (§3).
-//
-// One Engine runs per site and hosts one process per local cluster (global
-// root). The engine is driven by:
-//
-//   - lazy log-keeping hooks from the heap (EdgeUp/EdgeDown/SentRef, §3.4);
-//   - edge-assert control messages (HandleAssert) — see below;
-//   - edge-destruction control messages (HandleDestroy, §3.1);
-//   - dependency-vector propagations (HandlePropagate, §3.3 step 3);
-//   - explicit refresh rounds (Refresh), the §5 recovery mechanism.
-//
-// # Realisation of the paper's Fig 6
-//
-// The scanned pseudo-code is OCR-lossy; this implementation follows the
-// reconstruction documented in DESIGN.md §2. Stamps are edge-keyed: the
-// value in column q of a process's own vector concerns exactly the edge
-// q→process and lives in q's clock space, so merges are totally ordered
-// per edge and the logs converge monotonically.
-//
-// # The introduction race and edge-asserts
-//
-// The paper's sender-side third-party entries (DV_i[k][j]++, §3.4) are
-// counters in the *sender's* number space, while destruction stamps Ē are
-// in the *edge source's* clock space. Merging them by magnitude — as the
-// paper's max-merge does — lets an old Ē mask a newer in-flight
-// introduction of the same edge: process j drops its last reference to k
-// (Ē shipped), a third party's forwarded reference re-creates the edge
-// j→k, and k, having merged the bigger Ē over the small count, removes
-// itself while j holds a live reference. Randomised stress tests readily
-// find this race (demonstrated by the A2 ablation experiment).
-//
-// This implementation therefore keeps the two kinds of knowledge apart:
-//
-//   - Authoritative stamps: only the edge's source writes them (creation
-//     on acquisition, Ē on destruction), totally ordered per edge.
-//   - Introduction hints (col, introducer, forwarding-seq): conservative
-//     liveness recorded from bundles and gossip; a pending hint blocks a
-//     garbage verdict.
-//
-// A hint is resolved by the source's word issued causally after the
-// forwarded reference arrived: the source sends one small idempotent
-// edge-assert when it first acquires the reference, and its destruction
-// bundles carry the introductions it has processed. Asserts are deferred,
-// idempotent, loss-tolerant GGD-plane messages — the mutator's exchange
-// itself still carries no synchronous control traffic, preserving the
-// substance of the paper's lazy log-keeping claim (the assert count is
-// reported separately by every benchmark).
-//
-// # Hint resolution is guaranteed, not best-effort
-//
-// A pending hint blocks a garbage verdict, so an introduction that is
-// never resolved pins its owner forever — the one leak the engine used
-// to tolerate. Three mechanisms close it:
-//
-//   - Assert re-send: every edge-assert is journaled per (holder,
-//     target, introducer, forwarding-seq) until the hint's owner
-//     acknowledges it with a HintAck; Refresh re-ships the journal
-//     alongside the destroyed-edge bundles. Loss of an assert (or of
-//     its ack) costs one refresh round, never the resolution.
-//   - Hint expiry: a forwarding whose reference was delivered and
-//     discarded without an edge ever forming — the holder object
-//     already collected, its cluster tombstoned — can never be consumed
-//     by the source's word. The receiving site expires it at the owner
-//     with a stampless negative assert for exactly that (introducer,
-//     forwarding-seq), journaled and re-sent like any other
-//     (ResolveIntroduction). Expiry is causally safe: the negative
-//     assert is issued after the delivery that proves no edge resulted,
-//     and a fresher forwarding carries a higher seq that the expiry
-//     bound does not cover.
-//   - Retained finalisation bundles: the destroy bundles a removed
-//     process sends carry the processed-introduction records that
-//     resolve its hints, but the process is gone — a lost bundle could
-//     not be re-shipped from its on-behalf rows. Removal therefore
-//     retains the bundles (bounded FIFO) and Refresh re-sends them.
-//
-// Detection then proceeds exactly as in §3.6: GGD work starts when an
-// edge-destruction message arrives, first-hand vectors circulate along
-// the edges of the global root graph (with row gossip) until the logs
-// reach a fixpoint, and garbage removal cascades through finalisation
-// destroys — collecting distributed cycles without any global consensus.
 package core
 
 import (
@@ -87,7 +5,6 @@ import (
 	"sort"
 
 	"causalgc/internal/ids"
-	"causalgc/internal/ring"
 	"causalgc/internal/vclock"
 )
 
@@ -139,23 +56,40 @@ type AssertMsg struct {
 	IntroSeq uint64
 }
 
-// AckMsg acknowledges one edge-assert: the hint's owner echoes the
-// assert's identity back to the asserter, which retires the matching
-// re-send journal row. Acks are GGD-plane traffic — idempotent and
-// loss-tolerant; a lost ack merely costs one more re-send.
+// AckMsg is the legacy per-row acknowledgement of one edge-assert
+// (wire.HintAck, superseded by the cumulative FrameAck protocol of
+// DESIGN.md §3.2). It is still decoded and honoured so pre-v3 journals
+// replay identically.
 type AckMsg struct {
 	Intro    ids.ClusterID
 	IntroSeq uint64
 	Stamp    uint64
 }
 
-// Sender transmits GGD control messages to other sites. The site runtime
+// Sender transmits GGD control messages to other sites and assigns the
+// retirement-stream sequence numbers of DESIGN.md §3.2. The site runtime
 // implements it on top of the network; local deliveries never touch it.
+//
+// SendDestroy, SendLegacy and SendAssert take the frame's stream
+// sequence: zero means "assign a fresh one" (first send); non-zero means
+// "re-send under the same sequence", so a re-sent frame fills the same
+// receiver-side gap instead of opening a new one. Both return the
+// sequence the frame was shipped with.
 type Sender interface {
-	SendDestroy(from, to ids.ClusterID, m DestroyMsg)
+	// SendDestroy ships an edge-destruction bundle in StreamDestroy.
+	SendDestroy(from, to ids.ClusterID, m DestroyMsg, seq uint64) uint64
+	// SendLegacy ships a retained finalisation bundle in StreamLegacy.
+	SendLegacy(from, to ids.ClusterID, m DestroyMsg, seq uint64) uint64
+	// SendAssert ships an edge-assert in StreamAssert.
+	SendAssert(from, to ids.ClusterID, m AssertMsg, seq uint64) uint64
+	// SendPropagate ships a dependency-vector propagation (untracked:
+	// propagations are regenerated each round, never retained).
 	SendPropagate(from, to ids.ClusterID, m Propagation)
-	SendAssert(from, to ids.ClusterID, m AssertMsg)
-	SendAck(from, to ids.ClusterID, m AckMsg)
+	// SettleFrame reports that a tracked frame from peer reached a final,
+	// replayable disposition (merged, durably buffered, or dropped as
+	// addressed to a tombstone). The site runtime advances the receive
+	// watermark and acknowledges cumulatively.
+	SettleFrame(peer ids.SiteID, stream Stream, seq uint64)
 }
 
 // Stats counts engine activity for the experiment harness.
@@ -167,15 +101,32 @@ type Stats struct {
 	// PropagationsSent counts dependency vectors sent (local and remote).
 	PropagationsSent int
 	// DestroysSent counts edge-destruction messages sent (local and
-	// remote), including finalisation destroys.
+	// remote), including finalisation destroys and refresh re-sends.
 	DestroysSent int
 	// AssertsSent counts edge-assert messages sent (first sends, negative
 	// asserts included).
 	AssertsSent int
 	// AssertResends counts journaled edge-asserts re-sent by Refresh.
 	AssertResends int
-	// AcksSent counts HintAck messages sent back to asserters.
-	AcksSent int
+	// DestroyResends counts destroyed-edge bundles re-sent by Refresh
+	// from on-behalf rows (subset of DestroysSent).
+	DestroyResends int
+	// LegacyResends counts retained finalisation bundles re-sent by
+	// Refresh (subset of DestroysSent).
+	LegacyResends int
+	// ResendsSuppressed counts re-sends the exponential damper held back
+	// (the row stays retained; it is re-shipped when its interval lapses).
+	ResendsSuppressed int
+	// RowsRetired counts retained rows (asserts, destroyed-edge bundles,
+	// legacy bundles) retired by cumulative frame acknowledgements.
+	RowsRetired int
+	// AssertRowsDropped counts journal rows lost to the maxAssertRows
+	// bound (dropped new positives plus evicted victims): tolerated loss,
+	// surfaced so operators can see the backstop fire.
+	AssertRowsDropped int
+	// LegacyEvicted counts retained finalisation bundles lost to the
+	// maxLegacy bound before acknowledgement: tolerated loss.
+	LegacyEvicted int
 	// HintsExpired counts introduction hints expired as provably stale
 	// (negative asserts processed, local expiries included).
 	HintsExpired int
@@ -193,6 +144,10 @@ type Options struct {
 	// reproducing the paper's raw max-merge of counts and Ē stamps. A2
 	// ablation only: exhibits the introduction race.
 	UnsafeNoHints bool
+	// ResendBackoffCap caps the exponential re-send damper's interval,
+	// in refresh rounds (DESIGN.md §3.2). Zero means
+	// DefaultResendBackoffCap; one re-sends every round (damping off).
+	ResendBackoffCap int
 	// RemoveObserver, when non-nil, is called with the process's final log
 	// just before removal (diagnostics and the trace tooling).
 	RemoveObserver func(id ids.ClusterID, log *vclock.Log, clock uint64)
@@ -205,6 +160,7 @@ type Engine struct {
 	send     Sender
 	onRemove func(ids.ClusterID)
 	opts     Options
+	boCap    uint64
 
 	procs     map[ids.ClusterID]*process
 	tombstone map[ids.ClusterID]uint64 // removed cluster → final clock
@@ -217,19 +173,29 @@ type Engine struct {
 	pending map[ids.ClusterID][]delivery
 
 	// asserts is the re-send journal: every un-acknowledged edge-assert,
-	// keyed by (holder, target, introducer, forwarding-seq), valued with
-	// the asserted stamp (zero for negative asserts). Rows are retired by
-	// the owner's HintAck, by the edge's destruction (the destroy bundle
-	// takes over resolution), or by the holder's removal; Refresh
-	// re-sends whatever remains. Bounded: past maxAssertRows new rows are
-	// dropped (loss-equivalent — deterministic, so replay agrees).
-	asserts map[assertRow]uint64
+	// keyed by (holder, target, introducer, forwarding-seq). Rows are
+	// retired exactly by the owner site's cumulative FrameAck (AckAsserts),
+	// by the edge's destruction (the destroy bundle takes over
+	// resolution), or by the holder's removal; Refresh re-sends whatever
+	// remains, damped. Bounded: past maxAssertRows new rows are dropped
+	// (loss-equivalent — deterministic, so replay agrees — and counted in
+	// Stats.AssertRowsDropped).
+	asserts map[assertRow]*assertState
+	// destroys tracks the Ē bundle of every destroyed remote edge whose
+	// on-behalf row Refresh would re-ship: its stream sequence (stable
+	// across re-sends), whether the target site acknowledged it, and the
+	// damper. An entry is deleted when the edge re-forms (the fresh live
+	// stamp supersedes) and when its holder is removed (the finalisation
+	// path takes over).
+	destroys map[edgeKey]*destroyState
 	// legacy retains the finalisation destroy bundles of removed
-	// processes for Refresh re-send: once the process is gone its
-	// on-behalf rows can no longer re-ship them, yet they carry the
-	// records that resolve the successors' hints. A fixed-capacity
-	// ring: eviction overwrites the oldest in place (loss-equivalent).
-	legacy *ring.Ring[legacyDestroy]
+	// processes until the target site acknowledges them: once the process
+	// is gone its on-behalf rows can no longer re-ship them, yet they
+	// carry the records that resolve the successors' hints. Bounded by
+	// maxLegacy as a backstop (eviction is tolerated loss, counted).
+	legacy []*legacyDestroy
+	// round counts Refresh invocations: the damper's time base.
+	round uint64
 
 	stats Stats
 }
@@ -244,6 +210,8 @@ type assertRow struct {
 type legacyDestroy struct {
 	from, to ids.ClusterID
 	m        DestroyMsg
+	seq      uint64
+	bo       Backoff
 }
 
 const (
@@ -270,12 +238,23 @@ type process struct {
 	active bool
 }
 
+// delivery is one queued control-message delivery. seq and stream carry
+// the frame's retirement-stream identity (zero for local or untracked
+// frames); a delivery that reaches a final disposition is settled back
+// to the sender's site through Sender.SettleFrame.
 type delivery struct {
 	to, from ids.ClusterID
 	kind     deliveryKind
 	destroy  DestroyMsg
 	prop     Propagation
 	assert   AssertMsg
+	seq      uint64
+	stream   Stream
+	// settled marks a buffered delivery whose settlement was already
+	// reported: its sender may have retired the re-send state behind it,
+	// so it must never be evicted from the pending buffer (nothing would
+	// ever re-derive it).
+	settled bool
 }
 
 type deliveryKind int
@@ -295,11 +274,12 @@ func New(site ids.SiteID, send Sender, onRemove func(ids.ClusterID), opts Option
 		send:      send,
 		onRemove:  onRemove,
 		opts:      opts,
+		boCap:     EffectiveBackoffCap(opts.ResendBackoffCap),
 		procs:     make(map[ids.ClusterID]*process),
 		tombstone: make(map[ids.ClusterID]uint64),
 		pending:   make(map[ids.ClusterID][]delivery),
-		asserts:   make(map[assertRow]uint64),
-		legacy:    ring.New[legacyDestroy](maxLegacy),
+		asserts:   make(map[assertRow]*assertState),
+		destroys:  make(map[edgeKey]*destroyState),
 	}
 }
 
@@ -403,12 +383,30 @@ func (e *Engine) EdgeUp(holder, target ids.ClusterID, first bool, intro ids.Clus
 	if first {
 		p.acq.Add(target)
 	}
+	// The edge re-formed: any earlier Ē bundle is superseded by the fresh
+	// live stamp, so its retirement tracking is moot.
+	delete(e.destroys, edgeKey{holder, target})
 	if target.Site == e.site {
 		if t, tok := e.procs[target]; tok {
 			t.log.Own().MergeEntry(holder, stamp)
 			if intro.Valid() && introSeq > 0 && introSeq != ids.CreationSeq {
 				t.log.Hints().Clear(holder, intro, introSeq)
 			}
+		} else if _, dead := e.tombstone[target]; !dead {
+			// The target's creation message has not arrived yet
+			// (reordered channels): the authoritative stamp and the hint
+			// resolution must not be lost — route them through the
+			// pre-registration pending buffer as a self-delivered
+			// assert, replayed on Register. Dropping the Clear here
+			// would lose the resolution bound: the introducer's bundle
+			// later arms the hint with no carrier left to resolve it,
+			// pinning the target forever (local edges have no assert
+			// journal and no Processed record to re-derive from).
+			m := AssertMsg{Stamp: p.clock}
+			if intro.Valid() && introSeq > 0 && introSeq != ids.CreationSeq {
+				m.Intro, m.IntroSeq = intro, introSeq
+			}
+			e.inbox = append(e.inbox, delivery{to: target, from: holder, kind: deliverAssert, assert: m})
 		}
 		return
 	}
@@ -422,30 +420,52 @@ func (e *Engine) EdgeUp(holder, target ids.ClusterID, first bool, intro ids.Clus
 	// authoritative stamp to the new cluster.
 	if first && !creation && !e.opts.UnsafeNoHints {
 		m := AssertMsg{Stamp: p.clock, Intro: intro, IntroSeq: introSeq}
-		e.journalAssert(assertRow{holder: holder, target: target, intro: intro, seq: introSeq}, m.Stamp)
-		e.stats.AssertsSent++
-		e.send.SendAssert(holder, target, m)
+		e.sendJournaledAssert(assertRow{holder: holder, target: target, intro: intro, seq: introSeq}, m)
 	}
 }
 
-// journalAssert records an un-acknowledged assert for Refresh re-send.
-// At the bound, a new positive row is dropped (loss-equivalent: its
-// introduction sits in the on-behalf Processed vector, so the edge's
-// eventual destroy bundle still resolves the hint), while a new
-// negative row evicts an existing one — an expired introduction appears
-// in no bundle, so dropping the freshly-sent row would pin the owner's
-// hint on a single message loss. The victim is a positive row when one
-// exists, else the deterministically-first negative row (the oldest in
-// re-send order, which has had the most delivery attempts). All choices
-// are deterministic, so WAL replay reconstructs the journal.
-func (e *Engine) journalAssert(row assertRow, stamp uint64) {
-	if _, ok := e.asserts[row]; !ok && len(e.asserts) >= maxAssertRows {
+// sendJournaledAssert journals the assert row (if the journal bound
+// admits it) and ships the assert under the row's stable stream
+// sequence.
+func (e *Engine) sendJournaledAssert(row assertRow, m AssertMsg) {
+	st := e.journalAssert(row, m.Stamp)
+	e.stats.AssertsSent++
+	var seq uint64
+	if st != nil {
+		seq = st.seq
+	}
+	seq = e.send.SendAssert(row.holder, row.target, m, seq)
+	if st != nil {
+		st.seq = seq
+	}
+}
+
+// journalAssert records an un-acknowledged assert for Refresh re-send
+// and returns its state (nil when the bound dropped it). At the bound, a
+// new positive row is dropped (loss-equivalent: its introduction sits in
+// the on-behalf Processed vector, so the edge's eventual destroy bundle
+// still resolves the hint), while a new negative row evicts an existing
+// one — an expired introduction appears in no bundle, so dropping the
+// freshly-sent row would pin the owner's hint on a single message loss.
+// The victim is a positive row when one exists, else the
+// deterministically-first negative row (the oldest in re-send order,
+// which has had the most delivery attempts). All choices are
+// deterministic, so WAL replay reconstructs the journal.
+func (e *Engine) journalAssert(row assertRow, stamp uint64) *assertState {
+	if st, ok := e.asserts[row]; ok {
+		st.stamp = stamp
+		return st
+	}
+	if len(e.asserts) >= maxAssertRows {
 		if stamp > 0 {
-			return
+			e.stats.AssertRowsDropped++
+			return nil
 		}
 		e.evictAssertRow()
 	}
-	e.asserts[row] = stamp
+	st := &assertState{stamp: stamp}
+	e.asserts[row] = st
+	return st
 }
 
 // evictAssertRow removes the deterministically-first positive journal
@@ -454,8 +474,8 @@ func (e *Engine) journalAssert(row assertRow, stamp uint64) {
 func (e *Engine) evictAssertRow() {
 	var posVictim, negVictim assertRow
 	posFound, negFound := false, false
-	for row, stamp := range e.asserts {
-		if stamp > 0 {
+	for row, st := range e.asserts {
+		if st.stamp > 0 {
 			if !posFound || assertRowLess(row, posVictim) {
 				posVictim, posFound = row, true
 			}
@@ -466,8 +486,10 @@ func (e *Engine) evictAssertRow() {
 	switch {
 	case posFound:
 		delete(e.asserts, posVictim)
+		e.stats.AssertRowsDropped++
 	case negFound:
 		delete(e.asserts, negVictim)
+		e.stats.AssertRowsDropped++
 	}
 }
 
@@ -479,8 +501,8 @@ func (e *Engine) evictAssertRow() {
 // expired introductions appear in no bundle, so only the owner's ack
 // may ever retire them.
 func (e *Engine) retireAsserts(holder, target ids.ClusterID) {
-	for row, stamp := range e.asserts {
-		if stamp > 0 && row.holder == holder && row.target == target {
+	for row, st := range e.asserts {
+		if st.stamp > 0 && row.holder == holder && row.target == target {
 			delete(e.asserts, row)
 		}
 	}
@@ -512,8 +534,21 @@ func (e *Engine) SentRef(holder, target, dest ids.ClusterID) uint64 {
 	}
 	if target.Site == e.site {
 		// Local target: arm its hint directly (same site, atomic).
-		if t, tok := e.procs[target]; tok && !e.opts.UnsafeNoHints {
+		if e.opts.UnsafeNoHints {
+			return seq
+		}
+		if t, tok := e.procs[target]; tok {
 			t.log.Hints().Arm(dest, holder, seq)
+		} else if _, dead := e.tombstone[target]; !dead {
+			// Pre-registration target: the conservative arm must not be
+			// lost (it is what blocks a verdict while the forwarded
+			// reference is in flight). A minimal hints-only destroy
+			// delivery through the pending buffer arms it on Register;
+			// its empty Auth vector merges nothing and bumps no clock.
+			e.inbox = append(e.inbox, delivery{
+				to: target, from: holder, kind: deliverDestroy,
+				destroy: DestroyMsg{Hints: vclock.Vector{dest: vclock.At(seq)}},
+			})
 		}
 		return seq
 	}
@@ -542,14 +577,17 @@ func (e *Engine) EdgeDown(holder, target ids.ClusterID) {
 		// Local destruction: deliver a minimal destroy so the receive path
 		// merges, evaluates and propagates uniformly. Hints and processed
 		// records were already written directly at forward/acquire time.
-		e.queueDestroy(holder, target, DestroyMsg{
+		e.queueLocalDestroy(holder, target, DestroyMsg{
 			Auth: vclock.Vector{holder: vclock.Eps(p.clock)},
 		})
 		return
 	}
 	ob := p.log.OB(target)
 	ob.Auth.MergeEntry(holder, vclock.Eps(p.clock))
-	e.queueDestroy(holder, target, DestroyMsg{
+	// A fresh destruction gets a fresh tracked bundle: any older entry
+	// for the edge was deleted when the edge re-formed (EdgeUp), so the
+	// new Ē cannot inherit a stale acknowledgement.
+	e.sendEdgeDestroy(holder, target, DestroyMsg{
 		Auth:      ob.Auth.Clone(),
 		Hints:     ob.Hints.Clone(),
 		Processed: ob.Processed.Clone(),
@@ -578,9 +616,22 @@ func (e *Engine) HandleCreate(cl, creator ids.ClusterID, stamp uint64) {
 
 // --- GGD message handling (§3.3, Fig 6) ---------------------------------
 
-// HandleDestroy processes an incoming edge-destruction control message.
+// HandleDestroy processes an untracked edge-destruction control message
+// (tests and pre-v3 replays; live traffic uses HandleDestroyFrame).
 func (e *Engine) HandleDestroy(to, from ids.ClusterID, m DestroyMsg) {
-	e.inbox = append(e.inbox, delivery{to: to, from: from, kind: deliverDestroy, destroy: m})
+	e.HandleDestroyFrame(to, from, m, 0, false)
+}
+
+// HandleDestroyFrame processes an incoming edge-destruction control
+// message carrying its retirement-stream identity: seq is the frame's
+// sequence in the sender site's destroy (or, with legacy set, legacy)
+// stream — zero for untracked frames.
+func (e *Engine) HandleDestroyFrame(to, from ids.ClusterID, m DestroyMsg, seq uint64, legacy bool) {
+	stream := StreamDestroy
+	if legacy {
+		stream = StreamLegacy
+	}
+	e.inbox = append(e.inbox, delivery{to: to, from: from, kind: deliverDestroy, destroy: m, seq: seq, stream: stream})
 	e.Drain()
 }
 
@@ -590,19 +641,143 @@ func (e *Engine) HandlePropagate(to, from ids.ClusterID, m Propagation) {
 	e.Drain()
 }
 
-// HandleAssert processes an incoming edge-assert.
+// HandleAssert processes an untracked incoming edge-assert (tests and
+// pre-v3 replays; live traffic uses HandleAssertFrame).
 func (e *Engine) HandleAssert(to, from ids.ClusterID, m AssertMsg) {
-	e.inbox = append(e.inbox, delivery{to: to, from: from, kind: deliverAssert, assert: m})
+	e.HandleAssertFrame(to, from, m, 0)
+}
+
+// HandleAssertFrame processes an incoming edge-assert carrying its
+// sequence in the sender site's assert stream (zero for untracked).
+func (e *Engine) HandleAssertFrame(to, from ids.ClusterID, m AssertMsg, seq uint64) {
+	e.inbox = append(e.inbox, delivery{to: to, from: from, kind: deliverAssert, assert: m, seq: seq, stream: StreamAssert})
 	e.Drain()
 }
 
-// HandleAck processes an incoming HintAck: the hint owner (from) has
+// HandleAck processes a legacy per-row HintAck: the hint owner (from) has
 // resolved the echoed introduction, so the matching journal row of the
 // asserting process (to) is retired. Idempotent; unknown rows (already
 // retired, or re-acked after an edge re-formed under a fresher
-// forwarding) are ignored.
+// forwarding) are ignored. Live traffic retires rows through the
+// cumulative AckAsserts instead; this path keeps pre-v3 journals
+// replaying identically.
 func (e *Engine) HandleAck(to, from ids.ClusterID, m AckMsg) {
 	delete(e.asserts, assertRow{holder: to, target: from, intro: m.Intro, seq: m.IntroSeq})
+}
+
+// --- Cumulative frame retirement (DESIGN.md §3.2) ------------------------
+
+// AckAsserts retires every journaled edge-assert addressed to peer whose
+// stream sequence the cumulative watermark covers, and reports how many.
+// Negative rows retire too: the watermark proves the owner's site
+// durably processed the expiry.
+func (e *Engine) AckAsserts(peer ids.SiteID, watermark uint64) int {
+	n := 0
+	for row, st := range e.asserts {
+		if row.target.Site == peer && st.seq != 0 && st.seq <= watermark {
+			delete(e.asserts, row)
+			n++
+		}
+	}
+	e.stats.RowsRetired += n
+	return n
+}
+
+// AckDestroys marks every tracked destroyed-edge bundle addressed to
+// peer and covered by the watermark as acknowledged: Refresh stops
+// re-shipping it. The Ē stamp itself stays in the on-behalf row — it is
+// authoritative log state, not re-send state.
+func (e *Engine) AckDestroys(peer ids.SiteID, watermark uint64) int {
+	n := 0
+	for ek, st := range e.destroys {
+		if ek.target.Site == peer && !st.acked && st.seq != 0 && st.seq <= watermark {
+			st.acked = true
+			n++
+		}
+	}
+	e.stats.RowsRetired += n
+	return n
+}
+
+// AckLegacy retires every retained finalisation bundle addressed to peer
+// and covered by the watermark.
+func (e *Engine) AckLegacy(peer ids.SiteID, watermark uint64) int {
+	kept := e.legacy[:0]
+	n := 0
+	for _, l := range e.legacy {
+		if l.to.Site == peer && l.seq != 0 && l.seq <= watermark {
+			n++
+			continue
+		}
+		kept = append(kept, l)
+	}
+	for i := len(kept); i < len(e.legacy); i++ {
+		e.legacy[i] = nil
+	}
+	e.legacy = kept
+	e.stats.RowsRetired += n
+	return n
+}
+
+// ResetPeerBackoff re-arms the re-send damper of every retained row
+// addressed to peer: called when the peer's epoch changes (it restarted
+// and may have lost undurable state), so the next refresh round re-ships
+// everything it might be missing without waiting out the backoff.
+func (e *Engine) ResetPeerBackoff(peer ids.SiteID) {
+	for row, st := range e.asserts {
+		if row.target.Site == peer {
+			st.bo.Reset()
+		}
+	}
+	for ek, st := range e.destroys {
+		if ek.target.Site == peer {
+			st.bo.Reset()
+		}
+	}
+	for _, l := range e.legacy {
+		if l.to.Site == peer {
+			l.bo.Reset()
+		}
+	}
+}
+
+// RetainedFloor returns the smallest stream sequence still retained for
+// (peer, stream) and whether any tracked row is retained at all. The
+// site runtime uses it to advance receivers past sequences that will
+// never be re-sent (rows retired through another path, evicted at a
+// bound), keeping cumulative watermarks from stalling on dead gaps.
+func (e *Engine) RetainedFloor(peer ids.SiteID, s Stream) (uint64, bool) {
+	var floor uint64
+	found := false
+	take := func(seq uint64) {
+		if seq == 0 {
+			return
+		}
+		if !found || seq < floor {
+			floor, found = seq, true
+		}
+	}
+	switch s {
+	case StreamAssert:
+		for row, st := range e.asserts {
+			if row.target.Site == peer {
+				take(st.seq)
+			}
+		}
+	case StreamDestroy:
+		for ek, st := range e.destroys {
+			if ek.target.Site == peer && !st.acked {
+				take(st.seq)
+			}
+		}
+	case StreamLegacy:
+		for _, l := range e.legacy {
+			if l.to.Site == peer {
+				take(l.seq)
+			}
+		}
+	}
+	return floor, found
 }
 
 // Drain processes queued deliveries until quiescence. Safe to call at any
@@ -621,6 +796,18 @@ func (e *Engine) Drain() {
 	}
 }
 
+// settle reports a tracked remote frame's final disposition to the site
+// runtime, which advances the cumulative receive watermark for the
+// sender's stream, and reports whether it did. Local and untracked
+// deliveries settle nothing.
+func (e *Engine) settle(d delivery) bool {
+	if d.seq == 0 || d.stream == 0 || d.from.Site == e.site {
+		return false
+	}
+	e.send.SettleFrame(d.from.Site, d.stream, d.seq)
+	return true
+}
+
 // receive is the paper's Receive procedure (Fig 6).
 func (e *Engine) receive(d delivery) {
 	p, ok := e.procs[d.to]
@@ -629,22 +816,27 @@ func (e *Engine) receive(d delivery) {
 			// The target's creation message has not arrived yet
 			// (reordered channels): buffer and replay on Register.
 			if len(e.pending[d.to]) < 64 {
+				// The buffered delivery is part of the durable image and
+				// replays on Register: a final, replayable disposition,
+				// so it settles now — and is marked so the overflow
+				// eviction below never picks it (the sender may already
+				// have retired the state that would re-derive it).
+				d.settled = e.settle(d)
 				e.pending[d.to] = append(e.pending[d.to], d)
 				return
 			}
 			if e.admitExpiry(d) {
 				return
 			}
+			// Overflow drop: genuine loss. Deliberately NOT settled — the
+			// sender's re-send journal exists to retry exactly this.
+			e.stats.StaleDeliveries++
+			return
 		}
-		if d.kind == deliverAssert {
-			if _, dead := e.tombstone[d.to]; dead {
-				// Ack on behalf of a removed process: the tombstone's
-				// word is final, and without the ack the asserter would
-				// re-send forever. Other drops (pending-buffer overflow,
-				// unknown target) stay un-acked — they are genuine loss,
-				// and the re-send journal exists to retry them.
-				e.ackAssert(d.to, d.from, d.assert)
-			}
+		if _, dead := e.tombstone[d.to]; dead {
+			// The target's word is final: the frame's purpose is moot, and
+			// without settlement the sender would re-ship it forever.
+			e.settle(d)
 		}
 		// Stale traffic to a removed or unknown process: dropped. Message
 		// loss never compromises safety (§5), so neither does this.
@@ -700,7 +892,6 @@ func (e *Engine) receive(d delivery) {
 				changed = true
 			}
 		}
-		e.ackAssert(d.to, d.from, d.assert)
 
 	case deliverPropagate:
 		m := d.prop
@@ -753,26 +944,32 @@ func (e *Engine) receive(d delivery) {
 			}
 		}
 	}
+	e.settle(d)
 	e.evaluate(p, changed)
 }
 
 // admitExpiry makes room in a full pre-registration pending buffer for
-// a self-delivered hint expiry (ResolveIntroduction's local-owner
-// path), reporting whether it was admitted. That delivery is the one
-// buffered kind with no other carrier: the dead transfer that proved
-// the expiry is dedup-recorded and never re-arrives, while every other
-// buffered kind is re-derivable (destroys via on-behalf/legacy re-send,
+// a self-delivered local assert — a hint expiry (ResolveIntroduction's
+// local-owner path) or a local-edge stamp/resolution (EdgeUp's
+// pre-registration path) — reporting whether it was admitted. These
+// deliveries are the one buffered kind with no other carrier: the
+// transfer that produced them is dedup-recorded and never re-arrives,
+// and local edges have no re-send journal, while an un-settled buffered
+// delivery is re-derivable (destroys via on-behalf/legacy re-send,
 // propagations via refresh, remote asserts via the sender's journal).
-// The oldest such re-derivable delivery is evicted; if the buffer is
-// somehow full of expiries, the new one is dropped — the bound is the
-// bound.
+// A delivery that already settled is NOT re-derivable — its sender may
+// have retired the journal row or bundle behind it on the resulting
+// acknowledgement — so settled entries are never eviction victims. The
+// oldest re-derivable delivery is evicted; if the buffer holds only
+// sole-carrier asserts and settled frames, the new one is dropped —
+// the bound is the bound.
 func (e *Engine) admitExpiry(d delivery) bool {
-	if d.kind != deliverAssert || d.assert.Stamp != 0 || d.from.Site != e.site {
+	if d.kind != deliverAssert || d.from.Site != e.site {
 		return false
 	}
 	q := e.pending[d.to]
 	for i, old := range q {
-		if old.kind == deliverAssert && old.assert.Stamp == 0 && old.from.Site == e.site {
+		if old.settled || (old.kind == deliverAssert && old.from.Site == e.site) {
 			continue
 		}
 		copy(q[i:], q[i+1:])
@@ -780,17 +977,6 @@ func (e *Engine) admitExpiry(d delivery) bool {
 		return true
 	}
 	return false
-}
-
-// ackAssert acknowledges a processed edge-assert back to its sender.
-// owner may be tombstoned. A local asserter (the self-delivered expiry
-// of ResolveIntroduction) journals nothing, so it needs no ack.
-func (e *Engine) ackAssert(owner, asserter ids.ClusterID, m AssertMsg) {
-	if asserter.Site == e.site {
-		return
-	}
-	e.stats.AcksSent++
-	e.send.SendAck(owner, asserter, AckMsg{Intro: m.Intro, IntroSeq: m.IntroSeq, Stamp: m.Stamp})
 }
 
 // ResolveIntroduction resolves introduction (intro, seq) of the edge
@@ -844,9 +1030,7 @@ func (e *Engine) ResolveIntroduction(holder, target, intro ids.ClusterID, seq ui
 		ob.Auth.MergeEntry(holder, vclock.At(p.clock))
 		ob.Processed.MergeEntry(intro, vclock.At(seq))
 	}
-	e.journalAssert(assertRow{holder: holder, target: target, intro: intro, seq: seq}, m.Stamp)
-	e.stats.AssertsSent++
-	e.send.SendAssert(holder, target, m)
+	e.sendJournaledAssert(assertRow{holder: holder, target: target, intro: intro, seq: seq}, m)
 }
 
 // evaluate runs ComputeV and acts on the outcome: removal when the
@@ -957,7 +1141,7 @@ func (e *Engine) remove(p *process) {
 		p.clock++
 		e.retireAsserts(p.id, k)
 		if k.Site == e.site {
-			e.queueDestroy(p.id, k, DestroyMsg{
+			e.queueLocalDestroy(p.id, k, DestroyMsg{
 				Auth: vclock.Vector{p.id: vclock.Eps(p.clock)},
 			})
 			continue
@@ -971,9 +1155,19 @@ func (e *Engine) remove(p *process) {
 		}
 		// Retain the finalisation bundle: once the process is gone its
 		// on-behalf rows can no longer re-ship it, yet it carries the
-		// records resolving the successor's hints. Refresh re-sends.
-		e.legacy.Push(legacyDestroy{from: p.id, to: k, m: cloneDestroy(m)})
-		e.queueDestroy(p.id, k, m)
+		// records resolving the successor's hints. Refresh re-sends the
+		// un-acknowledged remainder under the same stream sequence.
+		e.stats.DestroysSent++
+		seq := e.send.SendLegacy(p.id, k, m, 0)
+		e.pushLegacy(&legacyDestroy{from: p.id, to: k, m: cloneDestroy(m), seq: seq})
+	}
+	// The process's on-behalf re-send loop is gone with it: drop the
+	// tracked destroyed-edge bundles it owned (pre-existing behavior —
+	// the finalisation path above takes over for its live edges).
+	for ek := range e.destroys {
+		if ek.holder == p.id {
+			delete(e.destroys, ek)
+		}
 	}
 	e.tombstone[p.id] = p.clock
 	if e.onRemove != nil {
@@ -981,32 +1175,61 @@ func (e *Engine) remove(p *process) {
 	}
 }
 
-func (e *Engine) queueDestroy(from, to ids.ClusterID, m DestroyMsg) {
-	e.stats.DestroysSent++
-	if to.Site == e.site {
-		e.inbox = append(e.inbox, delivery{to: to, from: from, kind: deliverDestroy, destroy: m})
-		return
+// pushLegacy retains one finalisation bundle, evicting the oldest at the
+// hard cap (tolerated loss, counted).
+func (e *Engine) pushLegacy(l *legacyDestroy) {
+	if len(e.legacy) >= maxLegacy {
+		e.stats.LegacyEvicted++
+		copy(e.legacy, e.legacy[1:])
+		e.legacy[len(e.legacy)-1] = nil
+		e.legacy = e.legacy[:len(e.legacy)-1]
 	}
-	e.send.SendDestroy(from, to, m)
+	e.legacy = append(e.legacy, l)
+}
+
+// queueLocalDestroy delivers an edge-destruction to a same-site process
+// through the inbox (no wire frame, no retirement tracking).
+func (e *Engine) queueLocalDestroy(from, to ids.ClusterID, m DestroyMsg) {
+	e.stats.DestroysSent++
+	e.inbox = append(e.inbox, delivery{to: to, from: from, kind: deliverDestroy, destroy: m})
+}
+
+// sendEdgeDestroy ships the Ē bundle for the destroyed remote edge
+// from→to in the destroy retirement stream, creating the edge's tracked
+// state on first use and keeping its stream sequence stable across
+// re-sends.
+func (e *Engine) sendEdgeDestroy(from, to ids.ClusterID, m DestroyMsg) *destroyState {
+	st := e.destroys[edgeKey{holder: from, target: to}]
+	if st == nil {
+		st = &destroyState{}
+		e.destroys[edgeKey{holder: from, target: to}] = st
+	}
+	e.stats.DestroysSent++
+	st.seq = e.send.SendDestroy(from, to, m, st.seq)
+	return st
 }
 
 // --- Recovery (§5: residual garbage) ------------------------------------
 
 // Refresh re-evaluates every local process, re-propagates its current
-// state unconditionally, re-sends the edge-destruction bundles of
-// every edge the process has destroyed (its on-behalf rows whose own
-// column carries Ē), and re-ships the un-acknowledged edge-asserts and
-// retained finalisation bundles (hint resolution: a lost assert or a
-// lost final destroy costs one refresh round, never a pinned hint).
-// GGD messages are idempotent, so a refresh is
-// always safe; it re-detects residual garbage whose original detection
-// traffic was lost — including a lost destroy message itself, which
-// propagation alone can never recover: once the edge is gone the
-// destroyer no longer propagates towards its former target, so the Ē
-// is marooned in the on-behalf row until a refresh re-ships it (the
-// crash-recovery path depends on this, and E8's healing rounds improve
-// with it).
+// state unconditionally, and re-ships the three kinds of retained
+// re-send state that have not been acknowledged (DESIGN.md §3.2):
+// the edge-destruction bundles of destroyed edges (on-behalf rows whose
+// own column carries Ē), the journaled edge-asserts, and the retained
+// finalisation bundles of removed processes. Each retained row is
+// damped by an exponential per-row backoff; acknowledged rows are never
+// re-shipped, so a quiescent, fault-free system's refresh rounds carry
+// propagations only.
+//
+// GGD messages are idempotent, so a refresh is always safe; it
+// re-detects residual garbage whose original detection traffic was
+// lost — including a lost destroy message itself, which propagation
+// alone can never recover: once the edge is gone the destroyer no
+// longer propagates towards its former target, so the Ē is marooned in
+// the on-behalf row until a refresh re-ships it (the crash-recovery
+// path depends on this, and E8's healing rounds improve with it).
 func (e *Engine) Refresh() {
+	e.round++
 	for _, id := range e.Processes() {
 		p, ok := e.procs[id]
 		if !ok {
@@ -1033,34 +1256,64 @@ func (e *Engine) Refresh() {
 				continue
 			}
 			// The edge p→k was destroyed and not re-created: re-send the
-			// destruction bundle. Receivers merge it idempotently (a
-			// re-created edge's fresher live stamp supersedes the Ē), and
-			// stale copies to removed targets are dropped there.
-			e.queueDestroy(p.id, k, DestroyMsg{
+			// destruction bundle unless the target site has acknowledged
+			// it. Receivers merge it idempotently (a re-created edge's
+			// fresher live stamp supersedes the Ē), and stale copies to
+			// removed targets are dropped there.
+			m := DestroyMsg{
 				Auth:      ob.Auth.Clone(),
 				Hints:     ob.Hints.Clone(),
 				Processed: ob.Processed.Clone(),
-			})
+			}
+			if k.Site == e.site {
+				e.queueLocalDestroy(p.id, k, m)
+				continue
+			}
+			st := e.destroys[edgeKey{holder: p.id, target: k}]
+			if st != nil && st.acked {
+				continue
+			}
+			if st != nil && !st.bo.Ready(e.round) {
+				e.stats.ResendsSuppressed++
+				continue
+			}
+			st = e.sendEdgeDestroy(p.id, k, m)
+			st.bo.Bump(e.round, e.boCap)
+			e.stats.DestroyResends++
 		}
 		e.Drain()
 	}
 	// Re-ship the un-acknowledged edge-asserts and the retained
 	// finalisation bundles of removed processes: the resolution half of
-	// the refresh round. Both are idempotent; receivers ack asserts (so
-	// the journal drains) and merge bundles by stamp order.
+	// the refresh round. Both are idempotent; receivers settle the
+	// frames (so the journal drains through cumulative acks) and merge
+	// bundles by stamp order.
 	rows := make([]assertRow, 0, len(e.asserts))
 	for row := range e.asserts {
 		rows = append(rows, row)
 	}
 	sortAssertRows(rows)
 	for _, row := range rows {
+		st := e.asserts[row]
+		if !st.bo.Ready(e.round) {
+			e.stats.ResendsSuppressed++
+			continue
+		}
 		e.stats.AssertResends++
-		e.send.SendAssert(row.holder, row.target, AssertMsg{
-			Stamp: e.asserts[row], Intro: row.intro, IntroSeq: row.seq,
-		})
+		st.seq = e.send.SendAssert(row.holder, row.target, AssertMsg{
+			Stamp: st.stamp, Intro: row.intro, IntroSeq: row.seq,
+		}, st.seq)
+		st.bo.Bump(e.round, e.boCap)
 	}
-	for _, l := range e.legacy.Items() {
-		e.queueDestroy(l.from, l.to, cloneDestroy(l.m))
+	for _, l := range e.legacy {
+		if !l.bo.Ready(e.round) {
+			e.stats.ResendsSuppressed++
+			continue
+		}
+		e.stats.DestroysSent++
+		e.stats.LegacyResends++
+		l.seq = e.send.SendLegacy(l.from, l.to, cloneDestroy(l.m), l.seq)
+		l.bo.Bump(e.round, e.boCap)
 	}
 	e.Drain()
 }

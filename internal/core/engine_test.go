@@ -7,12 +7,17 @@ import (
 	"causalgc/internal/vclock"
 )
 
-// fakeSender records outgoing control messages.
+// fakeSender records outgoing control messages and assigns stream
+// sequences from one counter per stream (the real site runtime keys its
+// counters per destination site as well; a single-peer test does not
+// care).
 type fakeSender struct {
 	destroys []sentDestroy
+	legacies []sentDestroy
 	props    []sentMsg
 	asserts  []sentAssert
-	acks     []sentAck
+	settles  []settledFrame
+	seqs     map[Stream]uint64
 }
 
 type sentMsg struct {
@@ -22,32 +27,60 @@ type sentMsg struct {
 type sentDestroy struct {
 	from, to ids.ClusterID
 	m        DestroyMsg
+	seq      uint64
 }
 
 type sentAssert struct {
 	from, to ids.ClusterID
 	m        AssertMsg
+	seq      uint64
 }
 
-type sentAck struct {
-	from, to ids.ClusterID
-	m        AckMsg
+type settledFrame struct {
+	peer   ids.SiteID
+	stream Stream
+	seq    uint64
 }
 
-func (f *fakeSender) SendDestroy(from, to ids.ClusterID, m DestroyMsg) {
-	f.destroys = append(f.destroys, sentDestroy{from, to, m})
+func (f *fakeSender) assign(s Stream, seq uint64) uint64 {
+	if seq != 0 {
+		return seq
+	}
+	if f.seqs == nil {
+		f.seqs = make(map[Stream]uint64)
+	}
+	f.seqs[s]++
+	return f.seqs[s]
+}
+
+func (f *fakeSender) SendDestroy(from, to ids.ClusterID, m DestroyMsg, seq uint64) uint64 {
+	seq = f.assign(StreamDestroy, seq)
+	f.destroys = append(f.destroys, sentDestroy{from, to, m, seq})
+	return seq
+}
+
+// SendLegacy records into destroys as well: a legacy frame is an
+// edge-destruction bundle on the wire, and the assertions below count
+// destruction traffic regardless of stream.
+func (f *fakeSender) SendLegacy(from, to ids.ClusterID, m DestroyMsg, seq uint64) uint64 {
+	seq = f.assign(StreamLegacy, seq)
+	f.legacies = append(f.legacies, sentDestroy{from, to, m, seq})
+	f.destroys = append(f.destroys, sentDestroy{from, to, m, seq})
+	return seq
 }
 
 func (f *fakeSender) SendPropagate(from, to ids.ClusterID, _ Propagation) {
 	f.props = append(f.props, sentMsg{from, to})
 }
 
-func (f *fakeSender) SendAssert(from, to ids.ClusterID, m AssertMsg) {
-	f.asserts = append(f.asserts, sentAssert{from, to, m})
+func (f *fakeSender) SendAssert(from, to ids.ClusterID, m AssertMsg, seq uint64) uint64 {
+	seq = f.assign(StreamAssert, seq)
+	f.asserts = append(f.asserts, sentAssert{from, to, m, seq})
+	return seq
 }
 
-func (f *fakeSender) SendAck(from, to ids.ClusterID, m AckMsg) {
-	f.acks = append(f.acks, sentAck{from, to, m})
+func (f *fakeSender) SettleFrame(peer ids.SiteID, stream Stream, seq uint64) {
+	f.settles = append(f.settles, settledFrame{peer, stream, seq})
 }
 
 var _ Sender = (*fakeSender)(nil)
@@ -397,35 +430,42 @@ func TestEngineAssertJournalRetiredByEdgeDown(t *testing.T) {
 	}
 }
 
-func TestEngineAssertToTombstoneAcked(t *testing.T) {
+func TestEngineAssertToTombstoneSettled(t *testing.T) {
 	e, fs, _ := newEngine(t, Options{})
 	e.Register(cA)
 	e.HandleDestroy(cA, r1, DestroyMsg{Auth: vclock.Vector{r1: vclock.Eps(1)}})
 	if !e.Removed(cA) {
 		t.Fatal("cA not removed")
 	}
-	// A (re-sent) assert addressed to the tombstone must still be acked,
-	// or the asserter would re-send forever.
-	e.HandleAssert(cA, rem, AssertMsg{Stamp: 4, Intro: cB, IntroSeq: 2})
-	if len(fs.acks) != 1 {
-		t.Fatalf("acks = %+v, want 1", fs.acks)
+	// A (re-sent) assert addressed to the tombstone must still settle —
+	// the tombstone's word is final — or the asserter would re-send
+	// forever.
+	e.HandleAssertFrame(cA, rem, AssertMsg{Stamp: 4, Intro: cB, IntroSeq: 2}, 5)
+	if len(fs.settles) != 1 {
+		t.Fatalf("settles = %+v, want 1", fs.settles)
 	}
-	if a := fs.acks[0]; a.from != cA || a.to != rem || a.m.IntroSeq != 2 {
-		t.Errorf("ack = %+v", a)
+	if s := fs.settles[0]; s.peer != rem.Site || s.stream != StreamAssert || s.seq != 5 {
+		t.Errorf("settle = %+v", s)
 	}
 }
 
-func TestEngineAssertProcessingAcks(t *testing.T) {
+func TestEngineAssertProcessingSettles(t *testing.T) {
 	e, fs, _ := newEngine(t, Options{})
 	e.Register(cA)
-	e.HandleAssert(cA, rem, AssertMsg{Stamp: 4, Intro: cB, IntroSeq: 2})
-	if len(fs.acks) != 1 || fs.acks[0].m.Stamp != 4 {
-		t.Fatalf("acks = %+v, want one echoing stamp 4", fs.acks)
+	e.HandleAssertFrame(cA, rem, AssertMsg{Stamp: 4, Intro: cB, IntroSeq: 2}, 5)
+	if len(fs.settles) != 1 || fs.settles[0].seq != 5 {
+		t.Fatalf("settles = %+v, want one for seq 5", fs.settles)
 	}
-	// Duplicate delivery: idempotent, acked again.
+	// Duplicate delivery: idempotent, settled again (the receiver site
+	// re-acks the unchanged watermark, healing a lost FrameAck).
+	e.HandleAssertFrame(cA, rem, AssertMsg{Stamp: 4, Intro: cB, IntroSeq: 2}, 5)
+	if len(fs.settles) != 2 {
+		t.Fatalf("duplicate assert not re-settled: %+v", fs.settles)
+	}
+	// Untracked frames (seq 0) settle nothing.
 	e.HandleAssert(cA, rem, AssertMsg{Stamp: 4, Intro: cB, IntroSeq: 2})
-	if len(fs.acks) != 2 {
-		t.Fatalf("duplicate assert not re-acked: %+v", fs.acks)
+	if len(fs.settles) != 2 {
+		t.Fatalf("untracked assert settled: %+v", fs.settles)
 	}
 }
 
@@ -575,18 +615,28 @@ func TestEngineNegativeRowSurvivesEdgeLifecycle(t *testing.T) {
 	}
 }
 
-func TestEngineOverflowDropDoesNotAck(t *testing.T) {
+func TestEngineOverflowDropDoesNotSettle(t *testing.T) {
 	e, fs, _ := newEngine(t, Options{})
 	// Fill cA's pre-registration pending buffer to its bound.
 	for i := 0; i < 64; i++ {
 		e.HandleDestroy(cA, rem, DestroyMsg{Auth: vclock.Vector{rem: vclock.Eps(uint64(i + 1))}})
 	}
-	// An assert past the bound is dropped as loss — it must NOT be
-	// acked, or the sender would retire a journal row that was never
-	// processed.
-	e.HandleAssert(cA, rem, AssertMsg{Stamp: 5, Intro: cB, IntroSeq: 2})
-	if len(fs.acks) != 0 {
-		t.Fatalf("overflow-dropped assert acked: %+v", fs.acks)
+	// An assert past the bound is dropped as loss — it must NOT settle,
+	// or the sender would retire a journal row that was never processed.
+	e.HandleAssertFrame(cA, rem, AssertMsg{Stamp: 5, Intro: cB, IntroSeq: 2}, 9)
+	if len(fs.settles) != 0 {
+		t.Fatalf("overflow-dropped assert settled: %+v", fs.settles)
+	}
+}
+
+func TestEngineBufferedFrameSettles(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	// A tracked destroy racing ahead of its target's creation is buffered
+	// durably (part of the engine image) — a final, replayable
+	// disposition, so it settles immediately.
+	e.HandleDestroyFrame(cA, rem, DestroyMsg{Auth: vclock.Vector{rem: vclock.Eps(1)}}, 3, false)
+	if len(fs.settles) != 1 || fs.settles[0] != (settledFrame{rem.Site, StreamDestroy, 3}) {
+		t.Fatalf("settles = %+v, want buffered destroy seq 3", fs.settles)
 	}
 }
 
@@ -594,7 +644,7 @@ func TestEngineJournalFullOfNegativesEvictsOldest(t *testing.T) {
 	e, _, _ := newEngine(t, Options{})
 	// Saturate the journal with negative rows.
 	for i := 0; i < maxAssertRows; i++ {
-		e.asserts[assertRow{holder: cA, target: rem, intro: cB, seq: uint64(i + 1)}] = 0
+		e.asserts[assertRow{holder: cA, target: rem, intro: cB, seq: uint64(i + 1)}] = &assertState{}
 	}
 	oldest := assertRow{holder: cA, target: rem, intro: cB, seq: 1}
 	fresh := assertRow{holder: cA, target: rem, intro: cB, seq: maxAssertRows + 1}
@@ -610,12 +660,15 @@ func TestEngineJournalFullOfNegativesEvictsOldest(t *testing.T) {
 	}
 	// A positive victim is always preferred over a negative one.
 	pos := assertRow{holder: cA, target: rem, intro: cB, seq: 2}
-	e.asserts[pos] = 7
+	e.asserts[pos] = &assertState{stamp: 7}
 	delete(e.asserts, assertRow{holder: cA, target: rem, intro: cB, seq: 3})
 	e.journalAssert(assertRow{holder: cA, target: rem, intro: cB, seq: maxAssertRows + 2}, 0)
 	e.journalAssert(assertRow{holder: cA, target: rem, intro: cB, seq: maxAssertRows + 3}, 0)
 	if _, ok := e.asserts[pos]; ok {
 		t.Fatal("positive row survived while negatives were evicted")
+	}
+	if e.Stats().AssertRowsDropped == 0 {
+		t.Error("journal-bound evictions not counted as tolerated loss")
 	}
 }
 
@@ -688,5 +741,244 @@ func TestEngineRemoveObserver(t *testing.T) {
 	e.HandleDestroy(cA, r1, DestroyMsg{Auth: vclock.Vector{r1: vclock.Eps(1)}})
 	if len(observed) != 1 || observed[0] != cA {
 		t.Fatalf("observed = %v", observed)
+	}
+}
+
+// --- Acknowledged retirement (DESIGN.md §3.2) ----------------------------
+
+func TestEngineAckAssertsRetiresCumulatively(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(r1)
+	e.Register(cA)
+	e.EdgeUp(r1, cA, true, ids.NoCluster, 0) // keep cA alive
+	e.Drain()
+	intro := ids.ClusterID{Site: 3, Seq: 9}
+	rem2 := ids.ClusterID{Site: 2, Seq: 4}
+	e.EdgeUp(cA, rem, true, intro, 7)  // assert stream seq 1
+	e.EdgeUp(cA, rem2, true, intro, 8) // assert stream seq 2
+	if len(fs.asserts) != 2 {
+		t.Fatalf("asserts = %+v, want 2", fs.asserts)
+	}
+	// The peer site's cumulative watermark 2 retires both rows at once.
+	if n := e.AckAsserts(2, 2); n != 2 {
+		t.Fatalf("AckAsserts retired %d rows, want 2", n)
+	}
+	e.Refresh()
+	if got := e.Stats().AssertResends; got != 0 {
+		t.Errorf("AssertResends after full ack = %d, want 0", got)
+	}
+	if got := e.Stats().RowsRetired; got != 2 {
+		t.Errorf("RowsRetired = %d, want 2", got)
+	}
+}
+
+func TestEngineAckDestroysStopsResend(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(r1)
+	e.Register(cA)
+	e.EdgeUp(r1, cA, true, ids.NoCluster, 0) // keep cA alive
+	e.EdgeUp(cA, rem, true, ids.NoCluster, 0)
+	e.EdgeDown(cA, rem)
+	e.Drain()
+	if len(fs.destroys) != 1 || fs.destroys[0].seq == 0 {
+		t.Fatalf("destroys = %+v, want one tracked bundle", fs.destroys)
+	}
+	seq := fs.destroys[0].seq
+	// Unacknowledged: the first refresh re-ships the Ē bundle.
+	e.Refresh()
+	if got := e.Stats().DestroyResends; got != 1 {
+		t.Fatalf("DestroyResends = %d, want 1", got)
+	}
+	if re := fs.destroys[len(fs.destroys)-1]; re.seq != seq {
+		t.Fatalf("re-send changed the stream seq: %d -> %d (would open a receiver gap)", seq, re.seq)
+	}
+	// The target site acknowledges: no further re-sends, ever.
+	if n := e.AckDestroys(rem.Site, seq); n != 1 {
+		t.Fatalf("AckDestroys retired %d, want 1", n)
+	}
+	n := len(fs.destroys)
+	for i := 0; i < 4; i++ {
+		e.Refresh()
+	}
+	if len(fs.destroys) != n {
+		t.Fatalf("acked bundle re-sent: %+v", fs.destroys[n:])
+	}
+}
+
+func TestEngineEdgeReformInvalidatesDestroyAck(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(r1)
+	e.Register(cA)
+	e.EdgeUp(r1, cA, true, ids.NoCluster, 0)
+	e.EdgeUp(cA, rem, true, ids.NoCluster, 0)
+	e.EdgeDown(cA, rem)
+	e.Drain()
+	firstSeq := fs.destroys[0].seq
+	// The edge re-forms, then is destroyed again: the second Ē must ship
+	// under a fresh stream sequence, and a stale ack of the first frame
+	// must not retire it.
+	e.EdgeUp(cA, rem, true, cB, 5)
+	e.EdgeDown(cA, rem)
+	e.Drain()
+	second := fs.destroys[len(fs.destroys)-1]
+	if second.seq == firstSeq {
+		t.Fatalf("re-destroyed edge reused stream seq %d", firstSeq)
+	}
+	if n := e.AckDestroys(rem.Site, firstSeq); n != 0 {
+		t.Fatalf("stale watermark retired the fresh bundle (%d rows)", n)
+	}
+	e.Refresh()
+	if got := e.Stats().DestroyResends; got != 1 {
+		t.Errorf("fresh Ē bundle not re-sent after stale ack: resends = %d", got)
+	}
+}
+
+func TestEngineAckLegacyRetiresBundle(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(cA)
+	e.EdgeUp(cA, rem, true, ids.NoCluster, 0)
+	e.HandleDestroy(cA, r1, DestroyMsg{Auth: vclock.Vector{r1: vclock.Eps(1)}})
+	if !e.Removed(cA) {
+		t.Fatal("cA not removed")
+	}
+	if len(fs.legacies) != 1 {
+		t.Fatalf("legacies = %+v, want 1", fs.legacies)
+	}
+	if n := e.AckLegacy(rem.Site, fs.legacies[0].seq); n != 1 {
+		t.Fatalf("AckLegacy retired %d, want 1", n)
+	}
+	e.Refresh()
+	if got := e.Stats().LegacyResends; got != 0 {
+		t.Errorf("acked legacy bundle re-sent: LegacyResends = %d", got)
+	}
+}
+
+func TestEngineResendDamperBacksOff(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(r1)
+	e.Register(cA)
+	e.EdgeUp(r1, cA, true, ids.NoCluster, 0)
+	e.Drain()
+	e.EdgeUp(cA, rem, true, cB, 7) // one journaled assert, never acked
+	base := len(fs.asserts)
+	sentAt := []uint64{}
+	for round := uint64(1); round <= 16; round++ {
+		n := len(fs.asserts)
+		e.Refresh()
+		if len(fs.asserts) > n {
+			sentAt = append(sentAt, round)
+		}
+	}
+	// Exponential schedule: rounds 1, 2, 4, 8, 16.
+	want := []uint64{1, 2, 4, 8, 16}
+	if len(sentAt) != len(want) {
+		t.Fatalf("re-sends at rounds %v, want %v", sentAt, want)
+	}
+	for i := range want {
+		if sentAt[i] != want[i] {
+			t.Fatalf("re-sends at rounds %v, want %v", sentAt, want)
+		}
+	}
+	if got := e.Stats().ResendsSuppressed; got != 16-len(want) {
+		t.Errorf("ResendsSuppressed = %d, want %d", got, 16-len(want))
+	}
+	_ = base
+}
+
+func TestEngineResendDamperCapOne(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{ResendBackoffCap: 1})
+	e.Register(r1)
+	e.Register(cA)
+	e.EdgeUp(r1, cA, true, ids.NoCluster, 0)
+	e.Drain()
+	e.EdgeUp(cA, rem, true, cB, 7)
+	base := len(fs.asserts)
+	for i := 0; i < 5; i++ {
+		e.Refresh()
+	}
+	if got := len(fs.asserts) - base; got != 5 {
+		t.Errorf("with cap 1 every round must re-send: got %d of 5", got)
+	}
+}
+
+func TestEngineResetPeerBackoffReArms(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(r1)
+	e.Register(cA)
+	e.EdgeUp(r1, cA, true, ids.NoCluster, 0)
+	e.Drain()
+	e.EdgeUp(cA, rem, true, cB, 7)
+	e.Refresh() // round 1: re-send, next due round 2
+	e.Refresh() // round 2: re-send, next due round 4
+	n := len(fs.asserts)
+	// Peer restarted: the damper re-arms and round 3 re-sends at once.
+	e.ResetPeerBackoff(rem.Site)
+	e.Refresh()
+	if len(fs.asserts) != n+1 {
+		t.Errorf("reset damper did not re-send on the next round")
+	}
+}
+
+func TestEngineRetainedFloor(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	e.Register(r1)
+	e.Register(cA)
+	e.EdgeUp(r1, cA, true, ids.NoCluster, 0)
+	e.Drain()
+	rem2 := ids.ClusterID{Site: 2, Seq: 4}
+	e.EdgeUp(cA, rem, true, cB, 7)  // assert seq 1
+	e.EdgeUp(cA, rem2, true, cB, 8) // assert seq 2
+	if floor, any := e.RetainedFloor(2, StreamAssert); !any || floor != 1 {
+		t.Fatalf("floor = %d/%v, want 1/true", floor, any)
+	}
+	// Retiring the older row through another path (edge destruction)
+	// moves the floor up: the receiver may skip the dead gap.
+	e.EdgeDown(cA, rem)
+	e.Drain()
+	if floor, any := e.RetainedFloor(2, StreamAssert); !any || floor != 2 {
+		t.Fatalf("floor after retire = %d/%v, want 2/true", floor, any)
+	}
+	if _, any := e.RetainedFloor(3, StreamAssert); any {
+		t.Error("floor reported for a peer with nothing retained")
+	}
+	_ = fs
+}
+
+func TestEngineSettledBufferedFrameNotEvicted(t *testing.T) {
+	e, fs, _ := newEngine(t, Options{})
+	// A tracked destroy for a pre-registration target settles on
+	// buffering: the sender retires its bundle on the resulting ack, so
+	// nothing would ever re-derive the frame if it were evicted. Its
+	// bundled hint (seq 9, above the expiry bound below) marks whether
+	// it survived the buffer.
+	e.HandleDestroyFrame(cA, rem, DestroyMsg{
+		Auth:  vclock.Vector{r1: vclock.At(1), rem: vclock.Eps(1)},
+		Hints: vclock.Vector{cB: vclock.At(9)},
+	}, 3, false)
+	if len(fs.settles) != 1 {
+		t.Fatalf("settles = %+v, want the buffered tracked destroy", fs.settles)
+	}
+	// Untracked (re-derivable) destroys fill the rest of the buffer.
+	for i := 0; i < 63; i++ {
+		e.HandleDestroy(cA, rem, DestroyMsg{Auth: vclock.Vector{
+			r1:  vclock.At(1),
+			rem: vclock.Eps(uint64(i + 2)),
+		}})
+	}
+	// A local sole-carrier expiry needs room: it must displace an
+	// UN-settled destroy, never the settled frame.
+	e.Register(cB)
+	e.ResolveIntroduction(cB, cA, rem, 5)
+	e.Register(cA)
+	e.HandleCreate(cA, rem, 1)
+	e.Drain()
+	if !e.Registered(cA) {
+		t.Fatal("cA not live after create")
+	}
+	if got := e.Stats().HintsExpired; got != 1 {
+		t.Errorf("expiry lost: HintsExpired = %d, want 1", got)
+	}
+	if !e.LogSnapshot(cA).Hints().Has(cB) {
+		t.Fatal("settled buffered frame evicted: its armed hint is gone (the sender retired the bundle — nothing re-derives it)")
 	}
 }

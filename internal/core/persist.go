@@ -19,10 +19,16 @@ type EngineImage struct {
 	Pending    []PendingImage
 	// Asserts is the re-send journal of un-acknowledged edge-asserts:
 	// losing it to a crash would silently re-open the hint leak, so it
-	// is part of the durable image.
+	// is part of the durable image, stream sequences included (a
+	// recovered re-send must fill the same receiver-side gap).
 	Asserts []AssertRowImage
+	// Destroys tracks the acknowledgement state of destroyed-edge
+	// bundles: losing an acked flag only costs redundant re-sends, but
+	// losing a stream sequence would orphan the receiver's watermark, so
+	// both are durable.
+	Destroys []DestroyImage
 	// Legacy holds the retained finalisation destroy bundles of removed
-	// processes, in FIFO retention order.
+	// processes, in retention order.
 	Legacy []LegacyImage
 	Stats  Stats
 }
@@ -32,12 +38,28 @@ type AssertRowImage struct {
 	Holder, Target, Intro ids.ClusterID
 	Seq                   uint64
 	Stamp                 uint64
+	// StreamSeq is the row's sequence in the assert retirement stream to
+	// Target's site (zero if the row predates its first send).
+	StreamSeq uint64
+}
+
+// DestroyImage is the retirement state of one destroyed remote edge's
+// Ē bundle.
+type DestroyImage struct {
+	Holder, Target ids.ClusterID
+	// Seq is the bundle's sequence in the destroy retirement stream.
+	Seq uint64
+	// Acked records that the target site acknowledged the bundle:
+	// Refresh stops re-shipping it.
+	Acked bool
 }
 
 // LegacyImage is one retained finalisation destroy bundle.
 type LegacyImage struct {
 	From, To ids.ClusterID
 	M        DestroyMsg
+	// Seq is the bundle's sequence in the legacy retirement stream.
+	Seq uint64
 }
 
 // ProcImage is one process's state.
@@ -49,13 +71,21 @@ type ProcImage struct {
 	Log    vclock.LogImage
 }
 
-// PendingImage is one buffered pre-registration delivery.
+// PendingImage is one buffered pre-registration delivery. Seq and Stream
+// carry the delivery's retirement-stream identity so a replayed buffer
+// settles identically.
 type PendingImage struct {
 	To, From ids.ClusterID
 	Kind     int
 	Destroy  DestroyMsg
 	Prop     Propagation
 	Assert   AssertMsg
+	Seq      uint64
+	Stream   uint8
+	// Settled marks a delivery whose settlement was already reported to
+	// the sender; it survives restore so the eviction guard holds across
+	// recovery.
+	Settled bool
 }
 
 // Export renders the engine as an image sharing no state with it. It
@@ -93,6 +123,7 @@ func (e *Engine) Export() (EngineImage, error) {
 			img.Pending = append(img.Pending, PendingImage{
 				To: d.to, From: d.from, Kind: int(d.kind),
 				Destroy: cloneDestroy(d.destroy), Prop: cloneProp(d.prop), Assert: d.assert,
+				Seq: d.seq, Stream: uint8(d.stream), Settled: d.settled,
 			})
 		}
 	}
@@ -102,19 +133,48 @@ func (e *Engine) Export() (EngineImage, error) {
 	}
 	sortAssertRows(rows)
 	for _, row := range rows {
+		st := e.asserts[row]
 		img.Asserts = append(img.Asserts, AssertRowImage{
 			Holder: row.holder, Target: row.target, Intro: row.intro,
-			Seq: row.seq, Stamp: e.asserts[row],
+			Seq: row.seq, Stamp: st.stamp, StreamSeq: st.seq,
 		})
 	}
-	for _, l := range e.legacy.Items() {
-		img.Legacy = append(img.Legacy, LegacyImage{From: l.from, To: l.to, M: cloneDestroy(l.m)})
+	edges := make([]edgeKey, 0, len(e.destroys))
+	for ek := range e.destroys {
+		edges = append(edges, ek)
+	}
+	sortEdgeKeys(edges)
+	for _, ek := range edges {
+		st := e.destroys[ek]
+		img.Destroys = append(img.Destroys, DestroyImage{
+			Holder: ek.holder, Target: ek.target, Seq: st.seq, Acked: st.acked,
+		})
+	}
+	for _, l := range e.legacy {
+		img.Legacy = append(img.Legacy, LegacyImage{From: l.from, To: l.to, M: cloneDestroy(l.m), Seq: l.seq})
 	}
 	return img, nil
 }
 
+// sortEdgeKeys orders tracked edges deterministically for export.
+func sortEdgeKeys(edges []edgeKey) {
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && edgeKeyLess(edges[j], edges[j-1]); j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+}
+
+func edgeKeyLess(a, b edgeKey) bool {
+	if a.holder != b.holder {
+		return a.holder.Less(b.holder)
+	}
+	return a.target.Less(b.target)
+}
+
 // Restore rebuilds an engine from an image. The callbacks mirror New;
-// the image is not retained.
+// the image is not retained. Re-send dampers are deliberately reset: a
+// recovered site re-ships everything once so peers re-converge.
 func Restore(site ids.SiteID, send Sender, onRemove func(ids.ClusterID), opts Options, img EngineImage) (*Engine, error) {
 	e := New(site, send, onRemove, opts)
 	e.stats = img.Stats
@@ -137,13 +197,21 @@ func Restore(site ids.SiteID, send Sender, onRemove func(ids.ClusterID), opts Op
 		e.pending[di.To] = append(e.pending[di.To], delivery{
 			to: di.To, from: di.From, kind: deliveryKind(di.Kind),
 			destroy: cloneDestroy(di.Destroy), prop: cloneProp(di.Prop), assert: di.Assert,
+			seq: di.Seq, stream: Stream(di.Stream), settled: di.Settled,
 		})
 	}
 	for _, ai := range img.Asserts {
-		e.asserts[assertRow{holder: ai.Holder, target: ai.Target, intro: ai.Intro, seq: ai.Seq}] = ai.Stamp
+		e.asserts[assertRow{holder: ai.Holder, target: ai.Target, intro: ai.Intro, seq: ai.Seq}] = &assertState{
+			stamp: ai.Stamp, seq: ai.StreamSeq,
+		}
+	}
+	for _, di := range img.Destroys {
+		e.destroys[edgeKey{holder: di.Holder, target: di.Target}] = &destroyState{
+			seq: di.Seq, acked: di.Acked,
+		}
 	}
 	for _, li := range img.Legacy {
-		e.legacy.Push(legacyDestroy{from: li.From, to: li.To, m: cloneDestroy(li.M)})
+		e.legacy = append(e.legacy, &legacyDestroy{from: li.From, to: li.To, m: cloneDestroy(li.M), seq: li.Seq})
 	}
 	return e, nil
 }

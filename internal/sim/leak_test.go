@@ -194,8 +194,8 @@ func TestChurnLostAssertSchedules(t *testing.T) {
 			Seed:    seed,
 			Reorder: true,
 			DropKindProb: map[string]float64{
-				wire.KindAssert: 0.8,
-				wire.KindAck:    0.5,
+				wire.KindAssert:   0.8,
+				wire.KindFrameAck: 0.5,
 			},
 		}, site.DefaultOptions())
 		if _, err := mutator.Churn(w, mutator.ChurnConfig{
@@ -215,7 +215,7 @@ func TestChurnLostAssertSchedules(t *testing.T) {
 
 		// Heal the assert channel and recover.
 		w.Net().SetDropKindProb(wire.KindAssert, 0)
-		w.Net().SetDropKindProb(wire.KindAck, 0)
+		w.Net().SetDropKindProb(wire.KindFrameAck, 0)
 		for i := 0; i < 3; i++ {
 			if err := w.RefreshAll(); err != nil {
 				t.Fatalf("seed %d: refresh: %v", seed, err)

@@ -1,0 +1,347 @@
+package site
+
+import (
+	"sort"
+
+	"causalgc/internal/core"
+	"causalgc/internal/ids"
+	"causalgc/internal/wire"
+)
+
+// This file implements the site half of the acknowledged-retirement
+// protocol (DESIGN.md §3.2). The engine decides *what* is retained and
+// re-sent; the site owns the wire-level bookkeeping: per-(peer, stream)
+// sequence counters on the send side, cumulative watermarks on the
+// receive side, FrameAck emission, StreamAdvance floor advisories, and
+// the outbox of unacknowledged mutator frames.
+
+// FrameStats counts the site-level retirement activity: the operator's
+// view of how much re-send state is outstanding, how it drains, and —
+// crucially — whether the hard-capped backstops ever dropped state
+// (tolerated loss that used to be silent).
+type FrameStats struct {
+	// OutboxRetained is the current number of unacknowledged outbound
+	// mutator frames (gauge).
+	OutboxRetained int
+	// OutboxEvicted counts frames dropped at the outbox hard cap before
+	// acknowledgement: tolerated loss, surfaced here and through the
+	// optional AckObserver.
+	OutboxEvicted int
+	// OutboxResends counts outbox frames re-shipped by Refresh.
+	OutboxResends int
+	// ResendsSuppressed counts outbox re-sends the damper held back.
+	ResendsSuppressed int
+	// AcksSent and AcksReceived count FrameAck traffic.
+	AcksSent, AcksReceived int
+	// FramesRetired counts outbox frames retired by cumulative acks
+	// (engine-side rows are counted in EngineStats.RowsRetired).
+	FramesRetired int
+	// AdvancesSent counts StreamAdvance floor advisories.
+	AdvancesSent int
+}
+
+// AckObserver is an optional extension of Observer: implementations
+// that also satisfy it receive retirement events. Like Observer
+// callbacks, these run with the runtime's mutex held and must not call
+// back into the Runtime.
+type AckObserver interface {
+	// FrameEvicted fires when the outbox hard cap drops an
+	// unacknowledged mutator frame bound for peer: tolerated loss.
+	FrameEvicted(site ids.SiteID, peer ids.SiteID, stream core.Stream, frames int)
+	// FrameRetired fires when a cumulative FrameAck from peer retires
+	// outbox frames exactly.
+	FrameRetired(site ids.SiteID, peer ids.SiteID, stream core.Stream, frames int)
+}
+
+// streamKey names one retirement stream between this site and a peer.
+type streamKey struct {
+	peer ids.SiteID
+	kind core.Stream
+}
+
+// streamKeyLess orders stream keys deterministically (ack flushes and
+// floor advisories must send in a reproducible order under the
+// deterministic simulator).
+func streamKeyLess(a, b streamKey) bool {
+	if a.peer != b.peer {
+		return a.peer < b.peer
+	}
+	return a.kind < b.kind
+}
+
+// sendStream is the sender side of one stream: the sequence counter and
+// the peer's highest cumulative acknowledgement.
+type sendStream struct {
+	nextSeq uint64
+	ackedTo uint64
+}
+
+// maxRecvPending bounds the out-of-order set of one receive tracker; a
+// mark past the bound is dropped (the frame is re-sent later and marks
+// again once the gap below it narrows).
+const maxRecvPending = 1 << 15
+
+// recvTracker is the receiver side of one stream: the cumulative
+// watermark (every sequence ≤ watermark settled) plus the settled
+// sequences above it still waiting for a gap to fill.
+type recvTracker struct {
+	watermark uint64
+	pending   map[uint64]struct{}
+}
+
+// mark records one settled sequence and advances the watermark over any
+// now-contiguous prefix.
+func (t *recvTracker) mark(seq uint64) {
+	if seq <= t.watermark {
+		return
+	}
+	if t.pending == nil {
+		t.pending = make(map[uint64]struct{})
+	}
+	if _, ok := t.pending[seq]; !ok && len(t.pending) >= maxRecvPending {
+		return
+	}
+	t.pending[seq] = struct{}{}
+	for {
+		if _, ok := t.pending[t.watermark+1]; !ok {
+			return
+		}
+		t.watermark++
+		delete(t.pending, t.watermark)
+	}
+}
+
+// advance raises the watermark to floor-1 (a StreamAdvance advisory:
+// everything below floor is acknowledged-or-abandoned at the sender)
+// and prunes the out-of-order set.
+func (t *recvTracker) advance(floor uint64) bool {
+	if floor == 0 || floor-1 <= t.watermark {
+		return false
+	}
+	t.watermark = floor - 1
+	for seq := range t.pending {
+		if seq <= t.watermark {
+			delete(t.pending, seq)
+		}
+	}
+	// The advance may have made pending sequences contiguous.
+	for {
+		if _, ok := t.pending[t.watermark+1]; !ok {
+			return true
+		}
+		t.watermark++
+		delete(t.pending, t.watermark)
+	}
+}
+
+// sendStreamLocked returns (creating if needed) the send-side stream
+// state. Caller holds r.mu.
+func (r *Runtime) sendStreamLocked(peer ids.SiteID, kind core.Stream) *sendStream {
+	k := streamKey{peer: peer, kind: kind}
+	st := r.send[k]
+	if st == nil {
+		st = &sendStream{}
+		r.send[k] = st
+	}
+	return st
+}
+
+// assignSeqLocked returns seq unchanged when non-zero (a re-send under
+// its original sequence) and otherwise assigns the next sequence of the
+// (peer, kind) stream. Caller holds r.mu.
+func (r *Runtime) assignSeqLocked(peer ids.SiteID, kind core.Stream, seq uint64) uint64 {
+	if seq != 0 {
+		return seq
+	}
+	st := r.sendStreamLocked(peer, kind)
+	st.nextSeq++
+	return st.nextSeq
+}
+
+// markRecvLocked records the settlement of one tracked inbound frame
+// and schedules a FrameAck flush for its stream — also on duplicates,
+// which re-sends the unchanged watermark and heals a lost ack. Caller
+// holds r.mu.
+func (r *Runtime) markRecvLocked(peer ids.SiteID, kind core.Stream, seq uint64) {
+	if seq == 0 || kind == 0 {
+		return
+	}
+	k := streamKey{peer: peer, kind: kind}
+	t := r.recv[k]
+	if t == nil {
+		t = &recvTracker{}
+		r.recv[k] = t
+	}
+	t.mark(seq)
+	if r.dirtyAcks == nil {
+		r.dirtyAcks = make(map[streamKey]struct{})
+	}
+	r.dirtyAcks[k] = struct{}{}
+}
+
+// flushAcksLocked emits one FrameAck per dirty stream, in deterministic
+// order. Caller holds r.mu.
+func (r *Runtime) flushAcksLocked() {
+	if len(r.dirtyAcks) == 0 {
+		return
+	}
+	keys := make([]streamKey, 0, len(r.dirtyAcks))
+	for k := range r.dirtyAcks {
+		keys = append(keys, k)
+	}
+	r.dirtyAcks = nil
+	sort.Slice(keys, func(i, j int) bool { return streamKeyLess(keys[i], keys[j]) })
+	for _, k := range keys {
+		t := r.recv[k]
+		if t == nil {
+			continue
+		}
+		r.fstats.AcksSent++
+		r.net.Send(r.id, k.peer, wire.FrameAck{Stream: k.kind, Seq: t.watermark, Epoch: r.epoch})
+	}
+}
+
+// handleFrameAckLocked processes a cumulative acknowledgement from
+// peer: epoch changes re-arm the re-send dampers (the peer restarted
+// and may have lost undurable state), and a watermark advance retires
+// the covered retained state exactly. Caller holds r.mu.
+func (r *Runtime) handleFrameAckLocked(peer ids.SiteID, m wire.FrameAck) {
+	r.fstats.AcksReceived++
+	if last, ok := r.peerEpoch[peer]; !ok || last != m.Epoch {
+		r.peerEpoch[peer] = m.Epoch
+		if ok {
+			// A genuine restart (not first contact): re-arm everything
+			// bound for the peer.
+			r.engine.ResetPeerBackoff(peer)
+			for i := range r.outbox {
+				if r.outbox[i].to == peer {
+					r.outbox[i].bo.Reset()
+				}
+			}
+		}
+	}
+	st := r.sendStreamLocked(peer, m.Stream)
+	if m.Seq <= st.ackedTo {
+		return
+	}
+	st.ackedTo = m.Seq
+	switch m.Stream {
+	case core.StreamMut:
+		r.retireOutboxLocked(peer, m.Seq)
+	case core.StreamAssert:
+		r.engine.AckAsserts(peer, m.Seq)
+	case core.StreamDestroy:
+		r.engine.AckDestroys(peer, m.Seq)
+	case core.StreamLegacy:
+		r.engine.AckLegacy(peer, m.Seq)
+	}
+}
+
+// handleAdvanceLocked processes a sender's floor advisory: sequences
+// below the floor will never be (re-)sent, so the watermark skips the
+// dead gap, and the refreshed watermark is acknowledged back. Caller
+// holds r.mu.
+func (r *Runtime) handleAdvanceLocked(peer ids.SiteID, m wire.StreamAdvance) {
+	if m.Stream == 0 || m.Floor == 0 {
+		return
+	}
+	k := streamKey{peer: peer, kind: m.Stream}
+	t := r.recv[k]
+	if t == nil {
+		t = &recvTracker{}
+		r.recv[k] = t
+	}
+	t.advance(m.Floor)
+	if r.dirtyAcks == nil {
+		r.dirtyAcks = make(map[streamKey]struct{})
+	}
+	r.dirtyAcks[k] = struct{}{}
+}
+
+// retireOutboxLocked drops every outbox frame bound for peer covered by
+// the watermark. Caller holds r.mu.
+func (r *Runtime) retireOutboxLocked(peer ids.SiteID, watermark uint64) {
+	kept := r.outbox[:0]
+	n := 0
+	for _, f := range r.outbox {
+		if f.to == peer && f.seq <= watermark {
+			n++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for i := len(kept); i < len(r.outbox); i++ {
+		r.outbox[i] = outboundFrame{}
+	}
+	r.outbox = kept
+	if n > 0 {
+		r.fstats.FramesRetired += n
+		if ao, ok := r.opts.Observer.(AckObserver); ok {
+			ao.FrameRetired(r.id, peer, core.StreamMut, n)
+		}
+	}
+}
+
+// resendOutboxLocked re-ships the unacknowledged, damper-due outbox
+// frames during a refresh round. Caller holds r.mu.
+func (r *Runtime) resendOutboxLocked() {
+	for i := range r.outbox {
+		f := &r.outbox[i]
+		if !f.bo.Ready(r.refreshRound) {
+			r.fstats.ResendsSuppressed++
+			continue
+		}
+		r.fstats.OutboxResends++
+		r.net.Send(r.id, f.to, f.p)
+		f.bo.Bump(r.refreshRound, core.EffectiveBackoffCap(r.opts.Engine.ResendBackoffCap))
+	}
+}
+
+// advanceFloorsLocked emits StreamAdvance advisories for every send
+// stream whose acknowledged watermark trails the smallest sequence the
+// site still retains: the gap below the floor is acknowledged-or-
+// abandoned and would otherwise stall the peer's cumulative watermark
+// forever. Caller holds r.mu.
+func (r *Runtime) advanceFloorsLocked() {
+	keys := make([]streamKey, 0, len(r.send))
+	for k := range r.send {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return streamKeyLess(keys[i], keys[j]) })
+	for _, k := range keys {
+		st := r.send[k]
+		if st.nextSeq == 0 {
+			continue
+		}
+		var floor uint64
+		switch k.kind {
+		case core.StreamMut:
+			floor = st.nextSeq + 1
+			for _, f := range r.outbox {
+				if f.to == k.peer && f.seq < floor {
+					floor = f.seq
+				}
+			}
+		default:
+			if f, any := r.engine.RetainedFloor(k.peer, k.kind); any {
+				floor = f
+			} else {
+				floor = st.nextSeq + 1
+			}
+		}
+		if floor == 0 || floor-1 <= st.ackedTo {
+			continue
+		}
+		r.fstats.AdvancesSent++
+		r.net.Send(r.id, k.peer, wire.StreamAdvance{Stream: k.kind, Floor: floor})
+	}
+}
+
+// FrameStats returns a copy of the site-level retirement counters.
+func (r *Runtime) FrameStats() FrameStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.fstats
+	st.OutboxRetained = len(r.outbox)
+	return st
+}

@@ -1,0 +1,27 @@
+// Package site assembles one site of the distributed system: a heap, a
+// local collector, a GGD engine and a network endpoint. Runtime is the
+// API surface the public causalgc facade, the examples and the
+// simulation harness program against — its methods are the mutator
+// operations of the paper's model (§3.1): creating objects locally and
+// remotely, copying references across sites (including third-party
+// references), and destroying references.
+//
+// Runtime methods are safe for concurrent use; one mutex serialises the
+// mutator, the network handler and the collector, which models the
+// paper's per-site single mutator/collector interleaving.
+//
+// Beyond the mutator surface the runtime owns two protocol planes:
+//
+//   - Durability (persist.go, DESIGN.md §5): with a Journal attached,
+//     every relevant event is written ahead to a WAL and the full site
+//     image is snapshotted periodically; Recover reconstructs the site
+//     and resumes the protocol.
+//   - Acknowledged retirement (ack.go, DESIGN.md §3.2): the site
+//     assigns retirement-stream sequences to every re-sendable frame,
+//     tracks cumulative receive watermarks, emits FrameAck and
+//     StreamAdvance, retains unacknowledged mutator frames in the
+//     outbox (hard-capped as a counted backstop), and re-ships
+//     damper-due state on Refresh. FrameStats and the optional
+//     AckObserver expose the retirement activity — including the
+//     tolerated loss the backstops used to swallow silently.
+package site

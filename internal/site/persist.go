@@ -8,7 +8,6 @@ import (
 	"causalgc/internal/heap"
 	"causalgc/internal/ids"
 	"causalgc/internal/netsim"
-	"causalgc/internal/ring"
 	"causalgc/internal/wire"
 	"causalgc/persist"
 )
@@ -206,7 +205,8 @@ func Recover(id ids.SiteID, net netsim.Network, opts Options, j *Persist) (*Runt
 	r.replaying = false
 	buffered := r.recoverBuf
 	r.recoverBuf = nil
-	resend := r.outbox.Items()
+	resend := make([]outboundFrame, len(r.outbox))
+	copy(resend, r.outbox)
 	r.mu.Unlock()
 	for _, d := range buffered {
 		r.handle(d.from, d.p)
@@ -220,6 +220,16 @@ func Recover(id ids.SiteID, net netsim.Network, opts Options, j *Persist) (*Runt
 	// resumes without waiting for new mutator activity.
 	if err := r.Refresh(); err != nil {
 		return nil, fmt.Errorf("site %v: recover: %w", id, err)
+	}
+	if img != nil {
+		// Make the bumped recovery epoch durable immediately: without
+		// this, a second crash inside one SnapshotEvery window would
+		// restore the same pre-bump snapshot and re-use the epoch, and
+		// peers would skip the damper reset for the second restart. The
+		// forced snapshot also bounds the next replay.
+		if err := r.Checkpoint(); err != nil {
+			return nil, fmt.Errorf("site %v: recover: checkpoint: %w", id, err)
+		}
 	}
 	return r, nil
 }
@@ -275,9 +285,15 @@ func restoreRuntime(net netsim.Network, opts Options, img *wire.SiteImage) (*Run
 		opts:        opts,
 		pendingRefs: make(map[ids.ObjectID][]pendingRef),
 		seenIntro:   make(map[introKey]struct{}, len(img.SeenIntro)),
-		outbox:      ring.New[outboundFrame](maxOutbox),
+		send:        make(map[streamKey]*sendStream, len(img.SendStreams)),
+		recv:        make(map[streamKey]*recvTracker, len(img.RecvStreams)),
+		peerEpoch:   make(map[ids.SiteID]uint64, len(img.PeerEpochs)),
 		mint:        img.Mint,
 		removals:    img.Removals,
+		// Each recovery opens a new epoch: peers seeing it on the next
+		// FrameAck re-arm their re-send dampers toward this site.
+		epoch:  img.Epoch + 1,
+		fstats: restoreFrameStats(img.Frames),
 	}
 	var err error
 	r.engine, err = core.Restore(img.Site, (*sender)(r), r.onRemove, opts.Engine, img.Engine)
@@ -297,9 +313,37 @@ func restoreRuntime(net netsim.Network, opts Options, img *wire.SiteImage) (*Run
 		r.seenIntro[introKey{intro: in.Intro, seq: in.Seq}] = struct{}{}
 	}
 	for _, f := range img.Outbox {
-		r.outbox.Push(outboundFrame{to: f.To, p: f.Payload})
+		// Dampers reset on restore: the recovery re-send covers the
+		// first attempt, and the first refresh retries promptly.
+		r.outbox = append(r.outbox, outboundFrame{to: f.To, seq: f.Seq, p: f.Payload})
+	}
+	for _, st := range img.SendStreams {
+		r.send[streamKey{peer: st.Peer, kind: st.Kind}] = &sendStream{nextSeq: st.NextSeq, ackedTo: st.AckedTo}
+	}
+	for _, st := range img.RecvStreams {
+		t := &recvTracker{watermark: st.Watermark}
+		if len(st.Pending) > 0 {
+			t.pending = make(map[uint64]struct{}, len(st.Pending))
+			for _, seq := range st.Pending {
+				t.pending[seq] = struct{}{}
+			}
+		}
+		r.recv[streamKey{peer: st.Peer, kind: st.Kind}] = t
+	}
+	for _, pe := range img.PeerEpochs {
+		r.peerEpoch[pe.Peer] = pe.Epoch
 	}
 	return r, nil
+}
+
+// restoreFrameStats rebuilds the site counters from their image.
+func restoreFrameStats(f wire.FrameStatsImage) FrameStats {
+	return FrameStats{
+		AcksSent: f.AcksSent, AcksReceived: f.AcksReceived,
+		FramesRetired: f.FramesRetired, OutboxResends: f.OutboxResends,
+		OutboxEvicted: f.OutboxEvicted, ResendsSuppressed: f.ResendsSuppressed,
+		AdvancesSent: f.AdvancesSent,
+	}
 }
 
 // exportImageLocked renders the runtime's full state. Caller holds
@@ -327,8 +371,48 @@ func (r *Runtime) exportImageLocked() (*wire.SiteImage, error) {
 		img.SeenIntro = append(img.SeenIntro, wire.IntroImage{Intro: k.intro, Seq: k.seq})
 	}
 	sortIntros(img.SeenIntro)
-	for _, f := range r.outbox.Items() {
-		img.Outbox = append(img.Outbox, wire.FrameImage{To: f.to, Payload: f.p})
+	for _, f := range r.outbox {
+		img.Outbox = append(img.Outbox, wire.FrameImage{To: f.to, Payload: f.p, Seq: f.seq})
+	}
+	img.Epoch = r.epoch
+	img.Frames = wire.FrameStatsImage{
+		AcksSent: r.fstats.AcksSent, AcksReceived: r.fstats.AcksReceived,
+		FramesRetired: r.fstats.FramesRetired, OutboxResends: r.fstats.OutboxResends,
+		OutboxEvicted: r.fstats.OutboxEvicted, ResendsSuppressed: r.fstats.ResendsSuppressed,
+		AdvancesSent: r.fstats.AdvancesSent,
+	}
+	keys := make([]streamKey, 0, len(r.send)+len(r.recv))
+	for k := range r.send {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return streamKeyLess(keys[i], keys[j]) })
+	for _, k := range keys {
+		st := r.send[k]
+		img.SendStreams = append(img.SendStreams, wire.SendStreamImage{
+			Peer: k.peer, Kind: k.kind, NextSeq: st.nextSeq, AckedTo: st.ackedTo,
+		})
+	}
+	keys = keys[:0]
+	for k := range r.recv {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return streamKeyLess(keys[i], keys[j]) })
+	for _, k := range keys {
+		t := r.recv[k]
+		ri := wire.RecvStreamImage{Peer: k.peer, Kind: k.kind, Watermark: t.watermark}
+		for seq := range t.pending {
+			ri.Pending = append(ri.Pending, seq)
+		}
+		sort.Slice(ri.Pending, func(i, j int) bool { return ri.Pending[i] < ri.Pending[j] })
+		img.RecvStreams = append(img.RecvStreams, ri)
+	}
+	peers := make([]ids.SiteID, 0, len(r.peerEpoch))
+	for p := range r.peerEpoch {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	for _, p := range peers {
+		img.PeerEpochs = append(img.PeerEpochs, wire.PeerEpochImage{Peer: p, Epoch: r.peerEpoch[p]})
 	}
 	return img, nil
 }

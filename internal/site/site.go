@@ -1,13 +1,3 @@
-// Package site assembles one site of the distributed system: a heap, a
-// local collector, a GGD engine and a network endpoint. Runtime is the
-// public API surface the examples and the simulation harness program
-// against — its methods are the mutator operations of the paper's model
-// (§3.1): creating objects locally and remotely, copying references across
-// sites (including third-party references), and destroying references.
-//
-// Runtime methods are safe for concurrent use; one mutex serialises the
-// mutator, the network handler and the collector, which models the paper's
-// per-site single mutator/collector interleaving.
 package site
 
 import (
@@ -18,7 +8,6 @@ import (
 	"causalgc/internal/heap"
 	"causalgc/internal/ids"
 	"causalgc/internal/netsim"
-	"causalgc/internal/ring"
 	"causalgc/internal/vclock"
 	"causalgc/internal/wire"
 )
@@ -69,16 +58,25 @@ type introKey struct {
 	seq   uint64
 }
 
-// outboundFrame is one sent mutator frame retained for recovery resend.
+// outboundFrame is one sent mutator frame retained until the receiving
+// site's cumulative FrameAck retires it (re-sent by crash recovery and
+// by damper-due refresh rounds).
 type outboundFrame struct {
-	to ids.SiteID
-	p  netsim.Payload
+	to  ids.SiteID
+	seq uint64
+	p   netsim.Payload
+	bo  core.Backoff
 }
 
-// maxOutbox bounds the retained outbound mutator frames. Evicting an
-// old frame is loss-equivalent (the GGD plane tolerates loss; an
-// undelivered mutator frame costs at worst residual garbage, never
-// safety), so the bound trades recovery completeness for memory.
+// maxOutbox is the hard-cap backstop on retained outbound mutator
+// frames. Under the acknowledged-retirement protocol the outbox trims
+// its acknowledged prefix and stays near-empty in steady state; the cap
+// only fires against a peer that never acknowledges (down forever,
+// partitioned). Evicting an unacknowledged frame is tolerated loss —
+// the GGD plane survives it; an undelivered mutator frame costs at
+// worst residual garbage, never safety — and is counted in
+// FrameStats.OutboxEvicted and surfaced through AckObserver instead of
+// happening silently.
 const maxOutbox = 1024
 
 // maxSeenIntro bounds the receiver-side transfer dedup set. Evicting an
@@ -120,11 +118,29 @@ type Runtime struct {
 	// seenIntro dedups received reference transfers by (introducer,
 	// forwarding-seq), making recovery resends idempotent.
 	seenIntro map[introKey]struct{}
-	// outbox retains recent outbound mutator frames for recovery resend
-	// (populated only when a journal is attached): a fixed-capacity
-	// overwrite-oldest ring, O(1) per append, exported oldest-first so
-	// the wire.SiteImage round-trip order stays stable.
-	outbox *ring.Ring[outboundFrame]
+	// outbox retains outbound mutator frames (populated only when a
+	// journal is attached) until the receiver acknowledges them; oldest
+	// first, hard-capped at maxOutbox as a documented backstop.
+	outbox []outboundFrame
+
+	// send and recv are the per-(peer, stream) retirement-stream states:
+	// sequence counters and acknowledged watermarks on the send side,
+	// cumulative settle watermarks on the receive side (DESIGN.md §3.2).
+	send map[streamKey]*sendStream
+	recv map[streamKey]*recvTracker
+	// peerEpoch is the last seen recovery epoch per peer; a change
+	// re-arms the re-send dampers for that peer.
+	peerEpoch map[ids.SiteID]uint64
+	// dirtyAcks are the streams whose watermark must be (re-)acked at
+	// the end of the current dispatch.
+	dirtyAcks map[streamKey]struct{}
+	// epoch counts this site's recoveries, piggybacked on FrameAcks.
+	epoch uint64
+	// refreshRound is the damper time base for outbox re-sends.
+	refreshRound uint64
+	// fstats counts the retirement activity.
+	fstats FrameStats
+
 	// closed freezes the runtime: deliveries are dropped (tolerated
 	// loss) so introspection keeps answering from an unchanging state.
 	closed bool
@@ -147,7 +163,9 @@ func newRuntime(id ids.SiteID, net netsim.Network, opts Options) *Runtime {
 		opts:        opts,
 		pendingRefs: make(map[ids.ObjectID][]pendingRef),
 		seenIntro:   make(map[introKey]struct{}),
-		outbox:      ring.New[outboundFrame](maxOutbox),
+		send:        make(map[streamKey]*sendStream),
+		recv:        make(map[streamKey]*recvTracker),
+		peerEpoch:   make(map[ids.SiteID]uint64),
 	}
 	r.engine = core.New(id, (*sender)(r), r.onRemove, opts.Engine)
 	r.heap = heap.New(id, (*hooks)(r))
@@ -180,23 +198,38 @@ func (h *hooks) EdgeDown(holder, target ids.ClusterID) {
 
 var _ heap.Hooks = (*hooks)(nil)
 
-// sender adapts Runtime to core.Sender.
+// sender adapts Runtime to core.Sender: it assigns retirement-stream
+// sequences (per destination site and stream) and stamps them onto the
+// wire frames, so receivers can acknowledge cumulatively.
 type sender Runtime
 
-func (s *sender) SendDestroy(from, to ids.ClusterID, m core.DestroyMsg) {
-	s.net.Send(s.id, to.Site, wire.Destroy{From: from, To: to, M: m})
+func (s *sender) SendDestroy(from, to ids.ClusterID, m core.DestroyMsg, seq uint64) uint64 {
+	r := (*Runtime)(s)
+	seq = r.assignSeqLocked(to.Site, core.StreamDestroy, seq)
+	s.net.Send(s.id, to.Site, wire.Destroy{From: from, To: to, M: m, Seq: seq})
+	return seq
 }
 
-func (s *sender) SendAssert(from, to ids.ClusterID, m core.AssertMsg) {
-	s.net.Send(s.id, to.Site, wire.Assert{From: from, To: to, M: m})
+func (s *sender) SendLegacy(from, to ids.ClusterID, m core.DestroyMsg, seq uint64) uint64 {
+	r := (*Runtime)(s)
+	seq = r.assignSeqLocked(to.Site, core.StreamLegacy, seq)
+	s.net.Send(s.id, to.Site, wire.Destroy{From: from, To: to, M: m, Seq: seq, Legacy: true})
+	return seq
 }
 
-func (s *sender) SendAck(from, to ids.ClusterID, m core.AckMsg) {
-	s.net.Send(s.id, to.Site, wire.HintAck{From: from, To: to, M: m})
+func (s *sender) SendAssert(from, to ids.ClusterID, m core.AssertMsg, seq uint64) uint64 {
+	r := (*Runtime)(s)
+	seq = r.assignSeqLocked(to.Site, core.StreamAssert, seq)
+	s.net.Send(s.id, to.Site, wire.Assert{From: from, To: to, M: m, Seq: seq})
+	return seq
 }
 
 func (s *sender) SendPropagate(from, to ids.ClusterID, m core.Propagation) {
 	s.net.Send(s.id, to.Site, wire.Propagate{From: from, To: to, M: m})
+}
+
+func (s *sender) SettleFrame(peer ids.SiteID, stream core.Stream, seq uint64) {
+	(*Runtime)(s).markRecvLocked(peer, stream, seq)
 }
 
 var _ core.Sender = (*sender)(nil)
@@ -258,23 +291,34 @@ func (r *Runtime) handle(from ids.SiteID, p netsim.Payload) {
 	r.checkpointLocked()
 }
 
-// dispatchLocked applies one delivery. Caller holds r.mu.
-func (r *Runtime) dispatchLocked(_ ids.SiteID, p netsim.Payload) {
+// dispatchLocked applies one delivery, settles the engine, and flushes
+// any acknowledgements the delivery earned. Caller holds r.mu.
+func (r *Runtime) dispatchLocked(from ids.SiteID, p netsim.Payload) {
 	switch m := p.(type) {
 	case wire.Create:
 		r.handleCreate(m)
+		// Mutator frames settle on any delivery: every disposition
+		// (applied, duplicate-dropped, zombie-dropped) is final and
+		// replayable.
+		r.markRecvLocked(from, core.StreamMut, m.Seq)
 	case wire.RefTransfer:
 		r.handleRefTransfer(m)
+		r.markRecvLocked(from, core.StreamMut, m.Seq)
 	case wire.Destroy:
-		r.engine.HandleDestroy(m.To, m.From, m.M)
+		r.engine.HandleDestroyFrame(m.To, m.From, m.M, m.Seq, m.Legacy)
 	case wire.Propagate:
 		r.engine.HandlePropagate(m.To, m.From, m.M)
 	case wire.Assert:
-		r.engine.HandleAssert(m.To, m.From, m.M)
+		r.engine.HandleAssertFrame(m.To, m.From, m.M, m.Seq)
 	case wire.HintAck:
 		r.engine.HandleAck(m.To, m.From, m.M)
+	case wire.FrameAck:
+		r.handleFrameAckLocked(from, m)
+	case wire.StreamAdvance:
+		r.handleAdvanceLocked(from, m)
 	}
 	r.settleLocked()
+	r.flushAcksLocked()
 }
 
 // journalOp durably records a mutator operation before it is applied.
@@ -299,13 +343,33 @@ func (r *Runtime) checkpointLocked() {
 	_ = r.journal.Checkpoint(r.exportImageLocked)
 }
 
-// recordOutboundLocked retains a sent mutator frame for recovery
-// resend, evicting the oldest past maxOutbox.
-func (r *Runtime) recordOutboundLocked(to ids.SiteID, p netsim.Payload) {
+// assignMutSeqLocked draws the next mutator-stream sequence for a frame
+// bound to target, or zero for volatile sites (no journal → no outbox →
+// nothing to acknowledge).
+func (r *Runtime) assignMutSeqLocked(target ids.SiteID) uint64 {
 	if r.journal == nil {
+		return 0
+	}
+	return r.assignSeqLocked(target, core.StreamMut, 0)
+}
+
+// recordOutboundLocked retains a sent mutator frame until the receiver
+// acknowledges it, evicting the oldest past the maxOutbox backstop
+// (counted tolerated loss).
+func (r *Runtime) recordOutboundLocked(to ids.SiteID, seq uint64, p netsim.Payload) {
+	if r.journal == nil || seq == 0 {
 		return
 	}
-	r.outbox.Push(outboundFrame{to: to, p: p})
+	if len(r.outbox) >= maxOutbox {
+		victim := r.outbox[0]
+		copy(r.outbox, r.outbox[1:])
+		r.outbox = r.outbox[:len(r.outbox)-1]
+		r.fstats.OutboxEvicted++
+		if ao, ok := r.opts.Observer.(AckObserver); ok {
+			ao.FrameEvicted(r.id, victim.to, core.StreamMut, 1)
+		}
+	}
+	r.outbox = append(r.outbox, outboundFrame{to: to, seq: seq, p: p})
 }
 
 func (r *Runtime) handleCreate(m wire.Create) {
@@ -488,9 +552,10 @@ func (r *Runtime) NewRemote(holder ids.ObjectID, target ids.SiteID) (heap.Ref, e
 		Stamp:   stamp,
 		Obj:     obj,
 		Cluster: cl,
+		Seq:     r.assignMutSeqLocked(target),
 	}
 	r.net.Send(r.id, target, create)
-	r.recordOutboundLocked(target, create)
+	r.recordOutboundLocked(target, create.Seq, create)
 	r.settleLocked()
 	r.checkpointLocked()
 	return ref, nil
@@ -541,14 +606,15 @@ func (r *Runtime) SendRef(fromObj ids.ObjectID, to heap.Ref, target heap.Ref) er
 		ToCluster:   to.Cluster,
 		Target:      target,
 	}
-	r.net.Send(r.id, to.Obj.Site, xfer)
-	// Seq 0 frames (intra-cluster copies, stale holders) carry no
-	// dedup identity, so a recovery resend would apply them twice;
-	// they are excluded from the outbox — losing one to a crash is
+	// IntroSeq 0 frames (intra-cluster copies, stale holders) carry no
+	// dedup identity, so a re-send would apply them twice; they stay out
+	// of the retirement stream and the outbox — losing one to a crash is
 	// loss-equivalent, which the protocol tolerates.
 	if seq != 0 {
-		r.recordOutboundLocked(to.Obj.Site, xfer)
+		xfer.Seq = r.assignMutSeqLocked(to.Obj.Site)
 	}
+	r.net.Send(r.id, to.Obj.Site, xfer)
+	r.recordOutboundLocked(to.Obj.Site, xfer.Seq, xfer)
 	r.settleLocked()
 	r.checkpointLocked()
 	return nil
@@ -623,16 +689,24 @@ func (r *Runtime) Collect() (heap.CollectStats, error) {
 	return stats, nil
 }
 
-// Refresh re-propagates every local process's vector: the recovery round
-// that re-detects residual garbage after message loss (§5).
+// Refresh re-propagates every local process's vector and re-ships the
+// unacknowledged retained state — the engine's journal rows and bundles
+// plus this site's outbox frames, each under its re-send damper — then
+// advises peers of any stream floors so cumulative watermarks cannot
+// stall on abandoned gaps: the recovery round that re-detects residual
+// garbage after message loss (§5, DESIGN.md §3.2).
 func (r *Runtime) Refresh() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.journalOp(wire.OpRecord{Kind: wire.OpRefresh}); err != nil {
 		return err
 	}
+	r.refreshRound++
 	r.engine.Refresh()
+	r.resendOutboxLocked()
+	r.advanceFloorsLocked()
 	r.settleLocked()
+	r.flushAcksLocked()
 	r.checkpointLocked()
 	return nil
 }

@@ -1,17 +1,3 @@
-// Package vclock implements the timestamp machinery of the paper:
-// per-process event stamps, sparse dependency vectors (DDVs), the Ē
-// ("epsilon") destruction stamps of §3.1–§3.2, the Λ predicate, vector
-// comparison in the Schwarz–Mattern partial order, and the two-dimensional
-// per-root logs (DV_i) of §3.3 with the merge operations used by the GGD
-// Receive/ComputeV procedures.
-//
-// Stamp spaces. Every global root (cluster) numbers its log-keeping events
-// with a monotonically increasing counter. A stamp in column q of any
-// vector is, conceptually, an event index of process q. Lazy log-keeping
-// (§3.4) lets senders record conservative lower bounds ("counts") in
-// columns they do not own; receivers re-stamp columns they own with their
-// real clock, which is what makes destruction stamps Ē(clock) supersede
-// every creation stamp of the edges they cancel (see DESIGN.md §2).
 package vclock
 
 import (

@@ -1,0 +1,37 @@
+// Package wire defines the physical messages exchanged between sites
+// and the durable snapshot/WAL record types of the persistence layer.
+//
+// # Message families
+//
+// The mutator messages (Create, RefTransfer) carry no vector piggyback
+// beyond the single creation stamp: this is the paper's lazy
+// log-keeping (§3.4) — reference exchange requires no additional
+// control messages, even for third-party references. The GGD messages
+// (Destroy, Propagate, Assert) carry at most one dependency vector
+// each; Destroy additionally bundles the delayed third-party
+// edge-creation entries ("multiple edge-creation control messages can
+// be bundled with an edge-destruction control message in one atomic
+// delivery", §3.4).
+//
+// # Retirement streams
+//
+// Every frame whose sender retains re-send state — mutator frames of a
+// durable site's outbox, edge-asserts, edge-destruction bundles, legacy
+// finalisation bundles — carries a Seq: its position in the sender
+// site's per-(destination, stream) retirement stream (DESIGN.md §3.2).
+// Receivers acknowledge cumulatively with FrameAck once a frame reaches
+// a final, replayable disposition, letting the sender retire the
+// retained state exactly; StreamAdvance advisories let receivers skip
+// gaps that will never fill (rows retired through another path, frames
+// evicted at a hard cap). Both are GGD-plane traffic: idempotent and
+// loss-tolerant. HintAck, the per-row predecessor, is retained for
+// decode compatibility with pre-v3 journals only.
+//
+// # Durable images
+//
+// A SiteImage (SnapshotVersion 3) is the full durable state of one
+// site, including the retirement streams' counters and watermarks;
+// version-2 images migrate forward losslessly on decode. WALRecord is
+// one journaled event — a mutator operation or an inbound delivery —
+// replayed against the image to reconstruct the site (DESIGN.md §5).
+package wire

@@ -28,8 +28,19 @@ import (
 // recovery over a mismatching version fails rather than misdecodes.
 // Version 2 added the hint-resolution protocol's durable state (the
 // engine's assert re-send journal and retained finalisation bundles,
-// RefTransfer.ToCluster inside stored frames).
-const SnapshotVersion = 2
+// RefTransfer.ToCluster inside stored frames). Version 3 added the
+// acknowledged-retirement protocol's durable state: per-peer stream
+// counters and receive watermarks, the recovery epoch, frame-level
+// statistics, and stream sequences on retained rows. Version 2 images
+// migrate forward losslessly — every new field starts zero, which is
+// exactly the pre-protocol state (nothing acknowledged yet, so the
+// first refresh rounds re-ship and the watermarks build up from the
+// live traffic) — so DecodeSnapshot accepts both.
+const SnapshotVersion = 3
+
+// minSnapshotVersion is the oldest snapshot version DecodeSnapshot
+// still migrates forward.
+const minSnapshotVersion = 2
 
 // SiteImage is the full durable state of one site at a quiescent point.
 type SiteImage struct {
@@ -49,9 +60,63 @@ type SiteImage struct {
 	// transfers, keyed by (introducing cluster, forwarding seq): what
 	// makes re-sent mutator frames idempotent after a crash.
 	SeenIntro []IntroImage
-	// Outbox holds recent outbound mutator frames (bounded); recovery
-	// re-sends them, and receivers dedup via their own SeenIntro state.
+	// Outbox holds the unacknowledged outbound mutator frames (bounded
+	// backstop); recovery and refresh rounds re-send them until the
+	// receiver's cumulative FrameAck retires them, and receivers dedup
+	// via their own SeenIntro state.
 	Outbox []FrameImage
+	// Epoch counts this site's recoveries; FrameAcks carry it so peers
+	// detect the restart and re-arm their re-send dampers.
+	Epoch uint64
+	// SendStreams are the per-(peer, stream) sequence counters and
+	// acknowledged watermarks of the sender side. Losing a counter to a
+	// crash would let a recovered site re-use sequences the peer already
+	// settled, silently retiring un-delivered state — so they are
+	// durable.
+	SendStreams []SendStreamImage
+	// RecvStreams are the receiver-side cumulative watermarks (plus any
+	// out-of-order sequences above them). Losing one would make this
+	// site re-acknowledge from zero, never again covering the peer's
+	// outstanding rows.
+	RecvStreams []RecvStreamImage
+	// PeerEpochs are the last seen recovery epochs per peer.
+	PeerEpochs []PeerEpochImage
+	// Frames are the site-level retirement statistics.
+	Frames FrameStatsImage
+}
+
+// SendStreamImage is one sender-side retirement stream.
+type SendStreamImage struct {
+	Peer ids.SiteID
+	Kind core.Stream
+	// NextSeq is the last assigned sequence.
+	NextSeq uint64
+	// AckedTo is the highest cumulative watermark received from Peer.
+	AckedTo uint64
+}
+
+// RecvStreamImage is one receiver-side retirement stream.
+type RecvStreamImage struct {
+	Peer ids.SiteID
+	Kind core.Stream
+	// Watermark is the cumulative settled prefix.
+	Watermark uint64
+	// Pending are settled sequences above the watermark (gaps below them
+	// are still outstanding), sorted.
+	Pending []uint64
+}
+
+// PeerEpochImage is the last seen recovery epoch of one peer.
+type PeerEpochImage struct {
+	Peer  ids.SiteID
+	Epoch uint64
+}
+
+// FrameStatsImage persists the site-level frame/retirement counters.
+type FrameStatsImage struct {
+	AcksSent, AcksReceived, FramesRetired int
+	OutboxResends, OutboxEvicted          int
+	ResendsSuppressed, AdvancesSent       int
 }
 
 // PendingRefImage is one buffered reference transfer.
@@ -68,10 +133,13 @@ type IntroImage struct {
 	Seq   uint64
 }
 
-// FrameImage is one outbound frame: destination site plus payload.
+// FrameImage is one outbound frame: destination site, the frame's
+// sequence in the mutator retirement stream to that site, and the
+// payload (which carries the same sequence on the wire).
 type FrameImage struct {
 	To      ids.SiteID
 	Payload netsim.Payload
+	Seq     uint64
 }
 
 // WALRecord is one durable event. Exactly one field is set.
@@ -155,6 +223,8 @@ func init() {
 	gob.Register(Destroy{})
 	gob.Register(Assert{})
 	gob.Register(HintAck{})
+	gob.Register(FrameAck{})
+	gob.Register(StreamAdvance{})
 	gob.Register(Propagate{})
 }
 
@@ -174,9 +244,13 @@ func DecodeSnapshot(data []byte) (*SiteImage, error) {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
 		return nil, fmt.Errorf("wire: decode snapshot: %w", err)
 	}
-	if img.Version != SnapshotVersion {
-		return nil, fmt.Errorf("wire: snapshot version %d, want %d", img.Version, SnapshotVersion)
+	if img.Version < minSnapshotVersion || img.Version > SnapshotVersion {
+		return nil, fmt.Errorf("wire: snapshot version %d, want %d..%d", img.Version, minSnapshotVersion, SnapshotVersion)
 	}
+	// Pre-v3 images migrate forward in place: the retirement protocol's
+	// fields are zero, meaning "nothing assigned, nothing acknowledged",
+	// which the protocol treats exactly like a freshly upgraded site.
+	img.Version = SnapshotVersion
 	return &img, nil
 }
 

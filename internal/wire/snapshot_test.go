@@ -1,6 +1,9 @@
 package wire
 
 import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
 	"testing"
 
 	"causalgc/internal/core"
@@ -236,5 +239,75 @@ func TestDecodeRejectsDamage(t *testing.T) {
 	}
 	if _, err := DecodeSnapshot(nil); err == nil {
 		t.Error("empty snapshot decoded")
+	}
+}
+
+// TestSnapshotV2MigratesForward: a version-2 image (no retirement
+// protocol state) decodes under the v3 codec with every new field zero
+// — exactly the pre-protocol state — and is stamped forward. Versions
+// outside the supported window still fail loudly.
+func TestSnapshotV2MigratesForward(t *testing.T) {
+	img := sampleImage()
+	img.Version = 2
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatalf("v2 snapshot rejected: %v", err)
+	}
+	if got.Version != SnapshotVersion {
+		t.Errorf("migrated Version = %d, want %d", got.Version, SnapshotVersion)
+	}
+	if got.Site != img.Site || got.Mint != img.Mint {
+		t.Errorf("migration lost base fields: %+v", got)
+	}
+	if got.Epoch != 0 || len(got.SendStreams) != 0 || len(got.RecvStreams) != 0 || len(got.PeerEpochs) != 0 {
+		t.Errorf("v2 migration fabricated retirement state: %+v", got)
+	}
+	for _, bad := range []int{0, 1, SnapshotVersion + 1} {
+		img.Version = bad
+		buf.Reset()
+		if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeSnapshot(buf.Bytes()); err == nil {
+			t.Errorf("version %d accepted", bad)
+		}
+	}
+}
+
+// TestSnapshotRoundTripStreams: the v3 retirement state survives an
+// encode/decode round trip byte-exactly.
+func TestSnapshotRoundTripStreams(t *testing.T) {
+	img := sampleImage()
+	img.Epoch = 4
+	img.SendStreams = []SendStreamImage{
+		{Peer: 3, Kind: core.StreamMut, NextSeq: 17, AckedTo: 15},
+		{Peer: 3, Kind: core.StreamAssert, NextSeq: 5, AckedTo: 5},
+	}
+	img.RecvStreams = []RecvStreamImage{
+		{Peer: 4, Kind: core.StreamDestroy, Watermark: 9, Pending: []uint64{11, 12}},
+	}
+	img.PeerEpochs = []PeerEpochImage{{Peer: 3, Epoch: 2}}
+	img.Frames = FrameStatsImage{AcksSent: 7, OutboxEvicted: 1, FramesRetired: 12}
+	img.Outbox = []FrameImage{{To: 3, Seq: 16, Payload: Create{Creator: ids.ClusterID{Site: 2, Seq: 7}, Stamp: 3, Seq: 16}}}
+	data, err := EncodeSnapshot(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.SendStreams, img.SendStreams) ||
+		!reflect.DeepEqual(got.RecvStreams, img.RecvStreams) ||
+		!reflect.DeepEqual(got.PeerEpochs, img.PeerEpochs) ||
+		got.Frames != img.Frames || got.Epoch != img.Epoch {
+		t.Fatalf("retirement state did not round-trip:\n got %+v\nwant %+v", got, img)
+	}
+	if len(got.Outbox) != 1 || got.Outbox[0].Seq != 16 {
+		t.Fatalf("outbox seq lost: %+v", got.Outbox)
 	}
 }

@@ -1,13 +1,3 @@
-// Package wire defines the physical messages exchanged between sites.
-//
-// The mutator messages (Create, Ref) carry no vector piggyback beyond the
-// single creation stamp: this is the paper's lazy log-keeping (§3.4) —
-// reference exchange requires no additional control messages, even for
-// third-party references. The GGD messages (Destroy, Propagate) carry one
-// dependency vector each; Destroy additionally bundles the delayed
-// third-party edge-creation entries ("multiple edge-creation control
-// messages can be bundled with an edge-destruction control message in one
-// atomic delivery", §3.4).
 package wire
 
 import (
@@ -27,6 +17,8 @@ const (
 	KindPropagate = "ggd.prop"
 	KindAssert    = "ggd.assert"
 	KindAck       = "ggd.ack"
+	KindFrameAck  = "ggd.frameack"
+	KindAdvance   = "ggd.advance"
 )
 
 // Create asks the destination site to materialise a new object referenced
@@ -41,6 +33,10 @@ type Create struct {
 	// Obj and Cluster are the minted identities of the new object.
 	Obj     ids.ObjectID
 	Cluster ids.ClusterID
+	// Seq is the frame's sequence in the creator site's mutator
+	// retirement stream to the destination (DESIGN.md §3.2); zero when
+	// the sender retains no outbox (volatile sites, pre-v3 frames).
+	Seq uint64
 }
 
 // Kind implements netsim.Payload.
@@ -51,7 +47,7 @@ func (Create) Kind() string { return KindCreate }
 func (Create) ApplicationTraffic() bool { return true }
 
 // ApproxSize implements netsim.Payload.
-func (Create) ApproxSize() int { return 48 }
+func (Create) ApproxSize() int { return 56 }
 
 // RefTransfer carries a copy of a reference from a holder object to a
 // remote object: the mutator message of Fig 7 (light grey arrows). Target
@@ -76,6 +72,11 @@ type RefTransfer struct {
 	ToCluster ids.ClusterID
 	// Target is the reference being copied.
 	Target heap.Ref
+	// Seq is the frame's sequence in the sender site's mutator
+	// retirement stream to the destination (DESIGN.md §3.2); zero when
+	// the sender retains no outbox or the transfer carries no dedup
+	// identity (IntroSeq zero).
+	Seq uint64
 }
 
 // Kind implements netsim.Payload.
@@ -86,7 +87,7 @@ func (RefTransfer) Kind() string { return KindRef }
 func (RefTransfer) ApplicationTraffic() bool { return true }
 
 // ApproxSize implements netsim.Payload.
-func (RefTransfer) ApproxSize() int { return 72 }
+func (RefTransfer) ApproxSize() int { return 80 }
 
 // Destroy is the edge-destruction control message (§3.4): sent when the
 // last reference from From's cluster to To's cluster is destroyed, and by
@@ -98,6 +99,12 @@ type Destroy struct {
 	From ids.ClusterID
 	To   ids.ClusterID
 	M    core.DestroyMsg
+	// Seq is the frame's sequence in the sender site's destroy (or,
+	// with Legacy set, legacy) retirement stream to the destination
+	// (DESIGN.md §3.2); zero for untracked frames.
+	Seq uint64
+	// Legacy marks a retained finalisation bundle of a removed process.
+	Legacy bool
 }
 
 // Kind implements netsim.Payload.
@@ -105,7 +112,7 @@ func (Destroy) Kind() string { return KindDestroy }
 
 // ApproxSize implements netsim.Payload.
 func (d Destroy) ApproxSize() int {
-	return 32 + 24*(len(d.M.Auth)+len(d.M.Hints)+len(d.M.Processed))
+	return 41 + 24*(len(d.M.Auth)+len(d.M.Hints)+len(d.M.Processed))
 }
 
 // Assert is the edge-assert control message: the deferred, idempotent
@@ -116,18 +123,21 @@ type Assert struct {
 	From ids.ClusterID
 	To   ids.ClusterID
 	M    core.AssertMsg
+	// Seq is the frame's sequence in the sender site's assert
+	// retirement stream to the destination (DESIGN.md §3.2).
+	Seq uint64
 }
 
 // Kind implements netsim.Payload.
 func (Assert) Kind() string { return KindAssert }
 
 // ApproxSize implements netsim.Payload.
-func (Assert) ApproxSize() int { return 56 }
+func (Assert) ApproxSize() int { return 64 }
 
-// HintAck is the acknowledgement of an edge-assert: the hint's owner
-// echoes the assert's identity back to the asserting cluster, which
-// retires the matching re-send journal row. Loss-tolerant — a lost ack
-// costs one redundant re-send on the next refresh round.
+// HintAck is the legacy per-row acknowledgement of an edge-assert,
+// superseded by the cumulative FrameAck (DESIGN.md §3.2). It is no
+// longer sent; the type remains registered so pre-v3 write-ahead logs
+// decode and replay identically, retiring the echoed journal row.
 type HintAck struct {
 	From ids.ClusterID
 	To   ids.ClusterID
@@ -139,6 +149,53 @@ func (HintAck) Kind() string { return KindAck }
 
 // ApproxSize implements netsim.Payload.
 func (HintAck) ApproxSize() int { return 56 }
+
+// FrameAck is the cumulative acknowledgement of the acknowledged-
+// retirement protocol (DESIGN.md §3.2): the sending site has reached a
+// final, replayable disposition for every frame of the named stream
+// from the destination site with sequence ≤ Seq. The destination
+// retires the covered retained state exactly — outbox frames,
+// assert-journal rows, destroyed-edge bundles, legacy finalisation
+// bundles — instead of re-shipping it every refresh round. Acks are
+// GGD-plane traffic: idempotent (watermarks merge by max) and
+// loss-tolerant (a re-delivered frame re-sends the current watermark).
+type FrameAck struct {
+	// Stream names the retirement stream the watermark covers.
+	Stream core.Stream
+	// Seq is the cumulative watermark: every sequence ≤ Seq is settled.
+	Seq uint64
+	// Epoch counts the sender's recoveries. A change tells the receiver
+	// the peer restarted and re-arms its re-send dampers for that peer.
+	Epoch uint64
+}
+
+// Kind implements netsim.Payload.
+func (FrameAck) Kind() string { return KindFrameAck }
+
+// ApproxSize implements netsim.Payload.
+func (FrameAck) ApproxSize() int { return 25 }
+
+// StreamAdvance is the sender-side floor advisory of the retirement
+// protocol: every frame of the named stream with sequence < Floor is
+// either already acknowledged or permanently abandoned (its retained
+// row was retired through another path, or evicted at a hard cap), so
+// the receiver may advance its cumulative watermark to Floor-1 and stop
+// waiting for gaps that will never fill. Idempotent and loss-tolerant;
+// sent during Refresh only while the sender observes its acknowledged
+// watermark trailing its floor.
+type StreamAdvance struct {
+	// Stream names the retirement stream.
+	Stream core.Stream
+	// Floor is the smallest sequence the sender still retains (or one
+	// past its last assigned sequence when it retains nothing).
+	Floor uint64
+}
+
+// Kind implements netsim.Payload.
+func (StreamAdvance) Kind() string { return KindAdvance }
+
+// ApproxSize implements netsim.Payload.
+func (StreamAdvance) ApproxSize() int { return 17 }
 
 // Propagate circulates increasingly accurate approximations of dependency
 // vectors along the out-edges of the global root graph (§3.3, step 3 of
@@ -176,6 +233,8 @@ var (
 	_ netsim.Payload     = Propagate{}
 	_ netsim.Payload     = Assert{}
 	_ netsim.Payload     = HintAck{}
+	_ netsim.Payload     = FrameAck{}
+	_ netsim.Payload     = StreamAdvance{}
 	_ netsim.Application = Create{}
 	_ netsim.Application = RefTransfer{}
 )

@@ -56,6 +56,21 @@ func WithObserver(o Observer) Option {
 	return func(c *config) { c.site.Observer = o }
 }
 
+// WithResendBackoff caps the exponential re-send damper of the
+// acknowledged-retirement protocol (DESIGN.md §3.2), in refresh
+// rounds. Un-acknowledged re-send state — journaled edge-asserts,
+// destroyed-edge bundles, retained finalisation bundles, outbox
+// mutator frames — is re-shipped on the first refresh round after it
+// was sent, then at exponentially growing round intervals (1, 2, 4,
+// ...) up to this cap, so long-lived systems stop re-shipping the same
+// rows every round while genuinely lost frames are still retried
+// promptly. Zero keeps the default cap (64 rounds); 1 re-sends every
+// round (damping off). The damper re-arms when a peer restarts (its
+// recovery epoch changes) and whenever the underlying row changes.
+func WithResendBackoff(capRounds int) Option {
+	return func(c *config) { c.site.Engine.ResendBackoffCap = capRounds }
+}
+
 // WithPersistence makes the node durable: every relevant mutator and
 // GGD event is appended to a write-ahead log under dir before it takes
 // effect, and the full site image is snapshotted periodically (the log
@@ -367,6 +382,11 @@ func (n *Node) ClusterRemoved(cl ClusterID) bool { return n.rt.ClusterRemoved(cl
 
 // Stats returns the node's GGD engine counters.
 func (n *Node) Stats() EngineStats { return n.rt.EngineStats() }
+
+// FrameStats returns the node's acknowledged-retirement counters: how
+// much re-send state is outstanding, how it drains through cumulative
+// acks, and whether a hard-cap backstop ever dropped frames.
+func (n *Node) FrameStats() FrameStats { return n.rt.FrameStats() }
 
 // LogSnapshot returns a deep copy of a local global root's
 // dependency-vector log, or nil if the cluster is unknown or removed.

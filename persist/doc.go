@@ -1,0 +1,41 @@
+// Package persist is the durability substrate of causalgc: a
+// generation-numbered store combining an append-only, CRC-checked,
+// segmented write-ahead log with atomic full-state snapshots.
+//
+// The store is deliberately byte-oriented: it knows nothing about the
+// GGD protocol. The typed snapshot and WAL records live in
+// internal/wire (EncodeSnapshot, EncodeRecord); the site runtime
+// composes the two layers (internal/site, causalgc.WithPersistence).
+//
+// # Layout and invariants
+//
+// A store directory contains at most one live snapshot and the WAL
+// segments written after it:
+//
+//	snap-0000000000000003.snap    latest snapshot (generation 3)
+//	wal-0000000000000003-0000000000000001.log
+//	wal-0000000000000003-0000000000000002.log
+//
+// Every file starts with a magic+version header. WAL records and the
+// snapshot body are framed as {uint32 length, uint32 CRC-32C, payload},
+// so torn writes and bit rot are detected on read.
+//
+// Snapshot atomicity: a snapshot is written to a .tmp file, fsynced,
+// and renamed into place; the rename is the commit point. Only after
+// the rename (and a directory fsync) are the previous generation's
+// segments and snapshot deleted, so a crash at any instant leaves
+// either the old generation fully intact or the new snapshot durable.
+// Recovery replays only segments of the latest snapshot's generation,
+// which is what makes the post-rename deletes merely garbage
+// collection, never correctness.
+//
+// Torn tails: a short or CRC-failing record in the *last* segment is
+// the expected signature of a crash mid-append — recovery stops there
+// and discards the tail. The same damage in an earlier segment (or in
+// the snapshot itself) is genuine corruption and fails recovery with
+// ErrCorrupt: silently skipping interior records could resurrect a
+// state the rest of the cluster has already seen superseded.
+//
+// After recovery a store never appends to a possibly-torn segment: the
+// next Append opens a fresh segment.
+package persist

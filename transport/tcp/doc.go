@@ -1,0 +1,17 @@
+// Package tcp is the real-socket transport backend: causalgc sites in
+// different OS processes exchange the same wire messages the in-memory
+// backends carry, as length-prefixed gob frames over TCP.
+//
+// One Network serves one process. It listens on a single address for
+// every site the process hosts, and dials one outgoing connection per
+// remote peer, lazily, with automatic reconnect and exponential backoff —
+// so peer processes may start in any order. Sends to sites registered on
+// the same Network short-circuit through an in-memory queue and never
+// touch a socket.
+//
+// Delivery matches the Transport contract: asynchronous with respect to
+// Send, serialised per destination site (one delivery goroutine each),
+// and at-most-once per send — a frame that cannot be written before Close
+// is dropped, which the GGD control plane tolerates by design (§5 of the
+// paper; mutator payloads are retried across reconnects until Close).
+package tcp

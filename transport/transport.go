@@ -1,22 +1,3 @@
-// Package transport is the public network substrate of causalgc: the
-// Transport interface every backend implements, the payload contracts the
-// wire messages satisfy, and the two in-memory backends (a deterministic
-// single-threaded simulator and a concurrent channel network). A real
-// TCP socket backend lives in the transport/tcp subpackage; all three run
-// the same GGD engine unchanged.
-//
-// The deterministic backend is the right choice for tests, benchmarks and
-// reproducible experiments: message scheduling is driven by a seed, so a
-// run is replayable. The async backend exercises real concurrency inside
-// one process. The tcp backend connects separate processes.
-//
-// Custom substrates implement Transport directly. Delivery must be
-// asynchronous with respect to Send (a site's handler may send while
-// handling a delivery, and sites hold their own locks while doing both),
-// per-destination delivery should be serialised, and the GGD control
-// plane tolerates loss, duplication and reordering — only payloads
-// implementing Application (the mutator's own messages) need reliable
-// delivery.
 package transport
 
 import (
