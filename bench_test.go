@@ -370,6 +370,98 @@ func BenchmarkWALAppend(b *testing.B) {
 	}
 }
 
+// benchNode builds a bench node: durable nodes journal with per-record
+// fsync (the default durability contract) and a snapshot cadence large
+// enough that the measurement isolates the commit path itself.
+func benchNode(b *testing.B, durable bool) *Node {
+	b.Helper()
+	opts := []Option{}
+	if durable {
+		opts = append(opts, WithPersistence(b.TempDir()), WithSnapshotEvery(1<<20))
+	}
+	n := NewNode(1, opts...)
+	b.Cleanup(func() { n.Close() })
+	return n
+}
+
+// benchBatchSize is the group size of the batch benchmarks: half
+// creates, half drops, so the heap stays bounded and every iteration
+// does identical work.
+const benchBatchSize = 64
+
+// BenchmarkBatchCommit measures the batched mutator path: one commit
+// of 64 ops (32 NewLocal + 32 DropRefs, deferred refs) per iteration —
+// one lock acquisition, one WAL append, one fsync. Compare against
+// BenchmarkSingletonOps, which performs the identical op stream one
+// commit per op; the durable variants quantify the headline win (the
+// per-op fsync collapses into one per group).
+func BenchmarkBatchCommit(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		durable bool
+	}{{"durable", true}, {"inmemory", false}} {
+		b.Run(fmt.Sprintf("%s/size=%d", mode.name, benchBatchSize), func(b *testing.B) {
+			n := benchNode(b, mode.durable)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bt := n.Batch()
+				created := make([]*BatchRef, benchBatchSize/2)
+				for j := range created {
+					created[j] = bt.NewLocal(bt.Root())
+				}
+				for _, c := range created {
+					bt.DropRefs(bt.Root(), c)
+				}
+				if err := bt.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportOpsPerSec(b, benchBatchSize)
+		})
+	}
+}
+
+// BenchmarkSingletonOps is the per-op baseline of BenchmarkBatchCommit:
+// the same 64-op stream issued through the singleton Node methods.
+func BenchmarkSingletonOps(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		durable bool
+	}{{"durable", true}, {"inmemory", false}} {
+		b.Run(fmt.Sprintf("%s/size=%d", mode.name, benchBatchSize), func(b *testing.B) {
+			n := benchNode(b, mode.durable)
+			root := n.Root().Obj
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				created := make([]Ref, benchBatchSize/2)
+				for j := range created {
+					ref, err := n.NewLocal(root)
+					if err != nil {
+						b.Fatal(err)
+					}
+					created[j] = ref
+				}
+				for _, ref := range created {
+					if err := n.DropRefs(root, ref); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			reportOpsPerSec(b, benchBatchSize)
+		})
+	}
+}
+
+// reportOpsPerSec reports mutator throughput for a benchmark whose
+// iterations each perform opsPerIter operations.
+func reportOpsPerSec(b *testing.B, opsPerIter int) {
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N*opsPerIter)/sec, "ops/sec")
+	}
+}
+
 // BenchmarkRecovery measures crash recovery: reconstruct a site from
 // its snapshot-free WAL of k journaled operations (the worst case —
 // every record replays).

@@ -39,6 +39,10 @@ type Cluster struct {
 // Recover directly to handle errors).
 func NewCluster(n int, opts ...Option) *Cluster {
 	cfg := newConfig(opts)
+	if err := cfg.validate(); err != nil {
+		// The wrapped error value keeps the panic errors.Is-matchable.
+		panic(fmt.Errorf("causalgc: NewCluster: %w", err))
+	}
 	ownTr := false
 	if cfg.tr == nil {
 		cfg.tr = transport.NewDeterministic(transport.Faults{Seed: 1})
@@ -96,18 +100,22 @@ func (c *Cluster) Close() error {
 			first = err
 		}
 	}
-	if c.ownTr {
-		if err := closeTransport(c.tr); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
+	return closeOwnedTransport(c.ownTr, c.tr, first)
 }
+
+// drainTimeout bounds one Cluster.Run delivery pass over a transport
+// that advertises the Drain capability but cannot prove global
+// quiescence (e.g. TCP): Drain returns as soon as the local queues
+// flush, so the timeout is only paid when traffic genuinely keeps
+// flowing.
+const drainTimeout = 2 * time.Second
 
 // Run delivers in-flight messages: on the deterministic substrate it
 // drains the queues (reproducibly, seeded); on a concurrent in-memory
-// substrate it quiesces; on any other substrate it yields briefly to let
-// deliveries proceed.
+// substrate it quiesces; on a transport with the Drain capability
+// (transport.Drainer — the TCP backend implements it) it flushes the
+// transport's local queues, bounded by a timeout; on any other
+// substrate it yields briefly to let deliveries proceed.
 func (c *Cluster) Run() error {
 	if c.det != nil {
 		if _, err := c.det.Run(sim.DefaultStepBudget); err != nil {
@@ -117,6 +125,13 @@ func (c *Cluster) Run() error {
 	}
 	if q, ok := c.tr.(interface{ Quiesce() }); ok {
 		q.Quiesce()
+		return nil
+	}
+	if d, ok := c.tr.(transport.Drainer); ok {
+		// Best-effort: frames already handed to the OS or in flight to a
+		// peer process are invisible here; Settle's repeated stable
+		// rounds absorb those stragglers.
+		d.Drain(drainTimeout)
 		return nil
 	}
 	time.Sleep(20 * time.Millisecond)

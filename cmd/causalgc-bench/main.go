@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	causalgc-bench            # all experiments
-//	causalgc-bench -exp E6    # one experiment
+//	causalgc-bench                              # all experiments
+//	causalgc-bench -exp E6                      # one experiment
+//	causalgc-bench -batch-json BENCH_batch.json # batch-vs-singleton throughput point
 package main
 
 import (
@@ -19,7 +20,14 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: E5 E6 E7 E8 E9 A2 or all")
+	batchJSON := flag.String("batch-json", "", "measure batched vs singleton commit throughput and write the JSON report to this path ('-' for stdout); skips the experiments")
 	flag.Parse()
+	if *batchJSON != "" {
+		if !eval.BatchBench(os.Stdout, *batchJSON) {
+			os.Exit(1)
+		}
+		return
+	}
 	if !eval.Run(os.Stdout, *exp) {
 		os.Exit(1)
 	}

@@ -39,6 +39,17 @@
 // process with WithTransport(tcp.New(...)) — see transport/tcp and
 // cmd/causalgc-node.
 //
+// # Batched mutations
+//
+// Write-heavy workloads should group operations with Node.Batch: a
+// committed Batch pays one lock acquisition, one write-ahead journal
+// append (one fsync, composing with WithGroupCommit) and one coalesced
+// wire envelope per destination site for the whole group, instead of
+// each cost per operation. Creations return *BatchRef placeholders
+// later ops of the same batch can chain onto (deferred reference
+// resolution); the singleton mutator methods are one-element batches,
+// so semantics are identical either way (DESIGN.md §3.3).
+//
 // # Reliability and retirement
 //
 // The GGD control plane tolerates loss, duplication and reordering by

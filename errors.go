@@ -12,6 +12,18 @@ import (
 // site state is frozen. Match with errors.Is.
 var ErrNodeClosed = errors.New("causalgc: node closed")
 
+// ErrBadOption is returned (wrapped, naming the offending option and
+// value) by Recover when an option carries a nonsensical value — a
+// negative WithSnapshotEvery, WithGroupCommit, WithResendBackoff or
+// WithMaxBatchFrames. NewNode and NewCluster panic with the same
+// wrapped error value (their signatures predate option validation), so
+// a recover() can still match it. Match with errors.Is.
+var ErrBadOption = errors.New("causalgc: invalid option")
+
+// ErrBatchCommitted is returned by Batch.Commit when the batch was
+// already committed: a Batch is single-shot.
+var ErrBatchCommitted = errors.New("causalgc: batch already committed")
+
 // Sentinel errors returned (wrapped with site/object context) by Node
 // operations. Match with errors.Is.
 var (
@@ -40,4 +52,11 @@ var (
 	ErrNotHolder = site.ErrNotHolder
 	// ErrRemoteSelf: NewRemote was pointed at the caller's own site.
 	ErrRemoteSelf = site.ErrRemoteSelf
+	// ErrNoSite: NewRemote was pointed at the zero SiteID ("no site"),
+	// which could never receive the creation.
+	ErrNoSite = site.ErrNoSite
+	// ErrBatchRef: a batch operation was given a nil *BatchRef, a ref
+	// from another batch, or a deferred reference that does not name an
+	// earlier create op of the same batch.
+	ErrBatchRef = site.ErrBatchRef
 )

@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"causalgc"
+)
+
+// BatchPoint is one measured configuration of the batch-vs-singleton
+// throughput comparison (BENCH_batch.json).
+type BatchPoint struct {
+	// Mode is "durable" (write-ahead journal, per-record fsync on the
+	// singleton path) or "inmemory".
+	Mode string `json:"mode"`
+	// Size is the batch group size (ops per commit).
+	Size int `json:"size"`
+	// BatchOpsPerSec and SingletonOpsPerSec are mutator throughputs of
+	// the two commit paths over the identical op stream.
+	BatchOpsPerSec     float64 `json:"batch_ops_per_sec"`
+	SingletonOpsPerSec float64 `json:"singleton_ops_per_sec"`
+	// Speedup is BatchOpsPerSec / SingletonOpsPerSec.
+	Speedup float64 `json:"speedup"`
+}
+
+// BatchReport is the JSON document emitted as BENCH_batch.json: the
+// first point of the repository's performance trajectory (ISSUE 5).
+type BatchReport struct {
+	// Benchmark names the measurement for trajectory tooling.
+	Benchmark string `json:"benchmark"`
+	// Points are the measured configurations.
+	Points []BatchPoint `json:"points"`
+}
+
+// batchThroughput measures one commit path: groups of size ops (half
+// creates, half drops — the heap stays bounded), repeated for at least
+// minDur, returning ops/sec.
+func batchThroughput(n *causalgc.Node, size int, batched bool, minDur time.Duration) (float64, error) {
+	root := n.Root().Obj
+	ops := 0
+	start := time.Now()
+	for time.Since(start) < minDur {
+		if batched {
+			b := n.Batch()
+			created := make([]*causalgc.BatchRef, size/2)
+			for j := range created {
+				created[j] = b.NewLocal(b.Root())
+			}
+			for _, c := range created {
+				b.DropRefs(b.Root(), c)
+			}
+			if err := b.Commit(); err != nil {
+				return 0, err
+			}
+		} else {
+			created := make([]causalgc.Ref, size/2)
+			for j := range created {
+				ref, err := n.NewLocal(root)
+				if err != nil {
+					return 0, err
+				}
+				created[j] = ref
+			}
+			for _, ref := range created {
+				if err := n.DropRefs(root, ref); err != nil {
+					return 0, err
+				}
+			}
+		}
+		ops += size
+	}
+	return float64(ops) / time.Since(start).Seconds(), nil
+}
+
+// BatchBench measures batched vs singleton commit throughput (durable
+// and in-memory, batch size 64 — the acceptance configuration) and
+// writes the JSON report to path ("-" or "" writes to w only). It
+// reports success iff the durable speedup reaches 3x.
+func BatchBench(w io.Writer, path string) bool {
+	const size = 64
+	rep := BatchReport{Benchmark: "batch-commit"}
+	ok := true
+	for _, mode := range []string{"durable", "inmemory"} {
+		point := BatchPoint{Mode: mode, Size: size}
+		for _, batched := range []bool{true, false} {
+			opts := []causalgc.Option{}
+			if mode == "durable" {
+				dir, err := os.MkdirTemp("", "causalgc-bench-*")
+				if err != nil {
+					fmt.Fprintf(w, "batch bench: %v\n", err)
+					return false
+				}
+				defer os.RemoveAll(dir)
+				opts = append(opts, causalgc.WithPersistence(dir), causalgc.WithSnapshotEvery(1<<20))
+			}
+			n := causalgc.NewNode(1, opts...)
+			tput, err := batchThroughput(n, size, batched, 300*time.Millisecond)
+			n.Close()
+			if err != nil {
+				fmt.Fprintf(w, "batch bench (%s, batched=%v): %v\n", mode, batched, err)
+				return false
+			}
+			if batched {
+				point.BatchOpsPerSec = tput
+			} else {
+				point.SingletonOpsPerSec = tput
+			}
+		}
+		if point.SingletonOpsPerSec > 0 {
+			point.Speedup = point.BatchOpsPerSec / point.SingletonOpsPerSec
+		}
+		rep.Points = append(rep.Points, point)
+		fmt.Fprintf(w, "batch-commit %-9s size=%d: batch %.0f ops/sec, singleton %.0f ops/sec, speedup %.1fx\n",
+			mode, size, point.BatchOpsPerSec, point.SingletonOpsPerSec, point.Speedup)
+		if mode == "durable" && point.Speedup < 3 {
+			fmt.Fprintf(w, "FAIL: durable batched commit speedup %.1fx < 3x\n", point.Speedup)
+			ok = false
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(w, "batch bench: %v\n", err)
+		return false
+	}
+	data = append(data, '\n')
+	if path != "" && path != "-" {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintf(w, "batch bench: %v\n", err)
+			return false
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	} else {
+		w.Write(data)
+	}
+	return ok
+}

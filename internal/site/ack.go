@@ -197,7 +197,7 @@ func (r *Runtime) flushAcksLocked() {
 			continue
 		}
 		r.fstats.AcksSent++
-		r.net.Send(r.id, k.peer, wire.FrameAck{Stream: k.kind, Seq: t.watermark, Epoch: r.epoch})
+		r.emitLocked(k.peer, wire.FrameAck{Stream: k.kind, Seq: t.watermark, Epoch: r.epoch})
 	}
 }
 
@@ -292,7 +292,7 @@ func (r *Runtime) resendOutboxLocked() {
 			continue
 		}
 		r.fstats.OutboxResends++
-		r.net.Send(r.id, f.to, f.p)
+		r.emitLocked(f.to, f.p)
 		f.bo.Bump(r.refreshRound, core.EffectiveBackoffCap(r.opts.Engine.ResendBackoffCap))
 	}
 }
@@ -333,7 +333,7 @@ func (r *Runtime) advanceFloorsLocked() {
 			continue
 		}
 		r.fstats.AdvancesSent++
-		r.net.Send(r.id, k.peer, wire.StreamAdvance{Stream: k.kind, Floor: floor})
+		r.emitLocked(k.peer, wire.StreamAdvance{Stream: k.kind, Floor: floor})
 	}
 }
 

@@ -13,4 +13,12 @@ var (
 	// ErrRemoteSelf is returned by NewRemote when the target site is the
 	// caller's own site (use NewLocal).
 	ErrRemoteSelf = errors.New("remote creation targets own site")
+	// ErrNoSite is returned by NewRemote when the target is the zero
+	// SiteID: a creation addressed to "no site" could never be
+	// delivered, leaving a permanently dangling reference.
+	ErrNoSite = errors.New("remote creation targets the zero site")
+	// ErrBatchRef is returned by ApplyBatch when a staged op defers an
+	// argument to a batch index that is out of range or does not name a
+	// create operation.
+	ErrBatchRef = errors.New("bad batch reference")
 )

@@ -241,6 +241,15 @@ func (r *Runtime) applyRecord(rec *wire.WALRecord) {
 	switch {
 	case rec.Deliver != nil:
 		r.replayDeliver(rec.Deliver.From, rec.Deliver.Payload)
+	case rec.Batch != nil:
+		// A journaled batch replays through the same group-apply path the
+		// live commit used: ops in order, deferred refs re-resolved from
+		// the re-minted results, outbound frames re-coalesced. Staging is
+		// skipped — the batch proved it before the record was appended,
+		// and replay determinism reproduces the same verdicts.
+		r.mu.Lock()
+		_, _ = r.applyBatchLocked(rec.Batch.Ops)
+		r.mu.Unlock()
 	case rec.Op != nil:
 		op := rec.Op
 		switch op.Kind {

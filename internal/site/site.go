@@ -24,7 +24,17 @@ type Options struct {
 	// run with the runtime's mutex held and must not call back into the
 	// Runtime.
 	Observer Observer
+	// MaxBatchFrames caps the frames coalesced into one wire.Envelope by
+	// a batch commit (or an envelope dispatch); a larger group flushes
+	// in several envelopes. Zero means DefaultMaxBatchFrames.
+	MaxBatchFrames int
 }
+
+// DefaultMaxBatchFrames is the default cap on frames per coalesced
+// envelope (Options.MaxBatchFrames): large enough that realistic
+// batches fit one envelope, small enough that one envelope stays well
+// under transport frame limits.
+const DefaultMaxBatchFrames = 256
 
 // Observer receives site lifecycle events: the public metrics hook of the
 // causalgc API. Implementations must be fast and must not re-enter the
@@ -141,6 +151,15 @@ type Runtime struct {
 	// fstats counts the retirement activity.
 	fstats FrameStats
 
+	// coalescing, when set, buffers outbound frames per destination
+	// instead of sending them: open during a batch commit and during
+	// the dispatch of a received envelope, flushed as one wire.Envelope
+	// per peer (DESIGN.md §3.3). The buffer allocates lazily on the
+	// first frame, so frameless windows (most one-op batches) cost
+	// nothing.
+	coalescing bool
+	coalesce   map[ids.SiteID][]netsim.Payload
+
 	// closed freezes the runtime: deliveries are dropped (tolerated
 	// loss) so introspection keeps answering from an unchanging state.
 	closed bool
@@ -206,26 +225,26 @@ type sender Runtime
 func (s *sender) SendDestroy(from, to ids.ClusterID, m core.DestroyMsg, seq uint64) uint64 {
 	r := (*Runtime)(s)
 	seq = r.assignSeqLocked(to.Site, core.StreamDestroy, seq)
-	s.net.Send(s.id, to.Site, wire.Destroy{From: from, To: to, M: m, Seq: seq})
+	r.emitLocked(to.Site, wire.Destroy{From: from, To: to, M: m, Seq: seq})
 	return seq
 }
 
 func (s *sender) SendLegacy(from, to ids.ClusterID, m core.DestroyMsg, seq uint64) uint64 {
 	r := (*Runtime)(s)
 	seq = r.assignSeqLocked(to.Site, core.StreamLegacy, seq)
-	s.net.Send(s.id, to.Site, wire.Destroy{From: from, To: to, M: m, Seq: seq, Legacy: true})
+	r.emitLocked(to.Site, wire.Destroy{From: from, To: to, M: m, Seq: seq, Legacy: true})
 	return seq
 }
 
 func (s *sender) SendAssert(from, to ids.ClusterID, m core.AssertMsg, seq uint64) uint64 {
 	r := (*Runtime)(s)
 	seq = r.assignSeqLocked(to.Site, core.StreamAssert, seq)
-	s.net.Send(s.id, to.Site, wire.Assert{From: from, To: to, M: m, Seq: seq})
+	r.emitLocked(to.Site, wire.Assert{From: from, To: to, M: m, Seq: seq})
 	return seq
 }
 
 func (s *sender) SendPropagate(from, to ids.ClusterID, m core.Propagation) {
-	s.net.Send(s.id, to.Site, wire.Propagate{From: from, To: to, M: m})
+	(*Runtime)(s).emitLocked(to.Site, wire.Propagate{From: from, To: to, M: m})
 }
 
 func (s *sender) SettleFrame(peer ids.SiteID, stream core.Stream, seq uint64) {
@@ -292,8 +311,26 @@ func (r *Runtime) handle(from ids.SiteID, p netsim.Payload) {
 }
 
 // dispatchLocked applies one delivery, settles the engine, and flushes
-// any acknowledgements the delivery earned. Caller holds r.mu.
+// any acknowledgements the delivery earned. A received wire.Envelope is
+// applied frame by frame but settled and acknowledged once, and the
+// responses it provokes (FrameAcks, asserts, cascade traffic) are
+// themselves coalesced into one envelope per peer. Caller holds r.mu.
 func (r *Runtime) dispatchLocked(from ids.SiteID, p netsim.Payload) {
+	opened := false
+	if _, ok := p.(wire.Envelope); ok {
+		opened = r.beginCoalesceLocked()
+	}
+	r.applyFrameLocked(from, p)
+	r.settleLocked()
+	r.flushAcksLocked()
+	if opened {
+		r.flushCoalesceLocked()
+	}
+}
+
+// applyFrameLocked applies one wire frame (an envelope's inner frames
+// recursively, in order). Caller holds r.mu.
+func (r *Runtime) applyFrameLocked(from ids.SiteID, p netsim.Payload) {
 	switch m := p.(type) {
 	case wire.Create:
 		r.handleCreate(m)
@@ -316,9 +353,11 @@ func (r *Runtime) dispatchLocked(from ids.SiteID, p netsim.Payload) {
 		r.handleFrameAckLocked(from, m)
 	case wire.StreamAdvance:
 		r.handleAdvanceLocked(from, m)
+	case wire.Envelope:
+		for _, f := range m.Frames {
+			r.applyFrameLocked(from, f)
+		}
 	}
-	r.settleLocked()
-	r.flushAcksLocked()
 }
 
 // journalOp durably records a mutator operation before it is applied.
@@ -455,28 +494,33 @@ func (r *Runtime) settleLocked() {
 
 // --- Mutator API ---------------------------------------------------------
 
+// The singleton mutator entry points all follow one commit sequence —
+// stage-check (reject without journaling, mirroring the historical
+// pre-journal validation), write-ahead journal, apply, checkpoint —
+// shared with the batch path (ApplyBatch), which runs the same stages
+// once per group instead of once per op.
+
+// runOpLocked commits one mutator operation through the singleton
+// path. Caller holds r.mu.
+func (r *Runtime) runOpLocked(op wire.OpRecord) (heap.Ref, error) {
+	if err := r.stageOpLocked(op); err != nil {
+		return heap.NilRef, err
+	}
+	if err := r.journalOp(op); err != nil {
+		return heap.NilRef, err
+	}
+	ref, err := r.applyOpLocked(op)
+	r.checkpointLocked()
+	return ref, err
+}
+
 // NewLocal creates an object in a fresh cluster on this site, referenced
 // from holder (often the root object). It returns a reference to the new
 // object.
 func (r *Runtime) NewLocal(holder ids.ObjectID) (heap.Ref, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.heap.Object(holder) == nil {
-		return heap.NilRef, fmt.Errorf("site %v: NewLocal holder %v: %w", r.id, holder, heap.ErrNoSuchObject)
-	}
-	if err := r.journalOp(wire.OpRecord{Kind: wire.OpNewLocal, Holder: holder}); err != nil {
-		return heap.NilRef, err
-	}
-	cl := r.heap.NewCluster()
-	r.engine.Register(cl)
-	o := r.heap.NewObject(cl)
-	ref := heap.Ref{Obj: o.ID(), Cluster: cl}
-	if _, err := r.heap.AddRef(holder, ref); err != nil {
-		return heap.NilRef, err
-	}
-	r.settleLocked()
-	r.checkpointLocked()
-	return ref, nil
+	return r.runOpLocked(wire.OpRecord{Kind: wire.OpNewLocal, Holder: holder})
 }
 
 // NewLocalIn creates an object in an existing local cluster, referenced
@@ -484,37 +528,15 @@ func (r *Runtime) NewLocal(holder ids.ObjectID) (heap.Ref, error) {
 func (r *Runtime) NewLocalIn(holder ids.ObjectID, cl ids.ClusterID) (heap.Ref, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if cl.Site != r.id {
-		return heap.NilRef, fmt.Errorf("site %v: NewLocalIn %v: %w", r.id, cl, heap.ErrForeignCluster)
-	}
-	if r.heap.Object(holder) == nil {
-		return heap.NilRef, fmt.Errorf("site %v: NewLocalIn holder %v: %w", r.id, holder, heap.ErrNoSuchObject)
-	}
-	if err := r.journalOp(wire.OpRecord{Kind: wire.OpNewLocalIn, Holder: holder, Clu: cl}); err != nil {
-		return heap.NilRef, err
-	}
-	r.engine.Register(cl)
-	o := r.heap.NewObject(cl)
-	ref := heap.Ref{Obj: o.ID(), Cluster: cl}
-	if _, err := r.heap.AddRef(holder, ref); err != nil {
-		return heap.NilRef, err
-	}
-	r.settleLocked()
-	r.checkpointLocked()
-	return ref, nil
+	return r.runOpLocked(wire.OpRecord{Kind: wire.OpNewLocalIn, Holder: holder, Clu: cl})
 }
 
 // NewCluster mints a fresh local cluster identity (for NewLocalIn).
 func (r *Runtime) NewCluster() (ids.ClusterID, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.journalOp(wire.OpRecord{Kind: wire.OpNewCluster}); err != nil {
-		return ids.NoCluster, err
-	}
-	cl := r.heap.NewCluster()
-	r.engine.Register(cl)
-	r.checkpointLocked()
-	return cl, nil
+	ref, err := r.runOpLocked(wire.OpRecord{Kind: wire.OpNewCluster})
+	return ref.Cluster, err
 }
 
 // NewRemote creates an object in a fresh cluster on the target site,
@@ -524,15 +546,121 @@ func (r *Runtime) NewCluster() (ids.ClusterID, error) {
 func (r *Runtime) NewRemote(holder ids.ObjectID, target ids.SiteID) (heap.Ref, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.runOpLocked(wire.OpRecord{Kind: wire.OpNewRemote, Holder: holder, Site: target})
+}
+
+// SendRef copies a reference the sender holds to a (usually remote)
+// object: the mutator messages of Fig 7. fromObj must currently hold
+// target in one of its slots; to names the destination object. When the
+// destination is local the copy is immediate; otherwise a single mutator
+// message is sent — lazy log-keeping adds no control messages even when
+// target denotes a third-party object on yet another site (§3.4).
+func (r *Runtime) SendRef(fromObj ids.ObjectID, to heap.Ref, target heap.Ref) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := r.runOpLocked(wire.OpRecord{Kind: wire.OpSendRef, Holder: fromObj, To: to, Target: target})
+	return err
+}
+
+// AddRef stores target into a new slot of holder (a local mutation).
+func (r *Runtime) AddRef(holder ids.ObjectID, target heap.Ref) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := r.runOpLocked(wire.OpRecord{Kind: wire.OpAddRef, Holder: holder, Target: target})
+	return err
+}
+
+// DropRefs clears every slot of holder that references target.Obj: the
+// mutator destroys its edge(s) to that object.
+func (r *Runtime) DropRefs(holder ids.ObjectID, target heap.Ref) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := r.runOpLocked(wire.OpRecord{Kind: wire.OpDropRefs, Holder: holder, Target: target})
+	return err
+}
+
+// ClearSlot drops one slot of holder.
+func (r *Runtime) ClearSlot(holder ids.ObjectID, slot int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := r.runOpLocked(wire.OpRecord{Kind: wire.OpClearSlot, Holder: holder, Slot: slot})
+	return err
+}
+
+// applyOpLocked applies one resolved mutator operation: validation,
+// mutation, sends (through emitLocked, so a surrounding batch commit
+// coalesces them) and the settle cascade — everything except locking,
+// journaling and checkpointing, which the callers own. For OpNewCluster
+// the returned Ref carries only the minted cluster. Caller holds r.mu.
+func (r *Runtime) applyOpLocked(op wire.OpRecord) (heap.Ref, error) {
+	switch op.Kind {
+	case wire.OpNewLocal:
+		return r.applyNewLocalLocked(op.Holder)
+	case wire.OpNewLocalIn:
+		return r.applyNewLocalInLocked(op.Holder, op.Clu)
+	case wire.OpNewCluster:
+		cl := r.heap.NewCluster()
+		r.engine.Register(cl)
+		return heap.Ref{Cluster: cl}, nil
+	case wire.OpNewRemote:
+		return r.applyNewRemoteLocked(op.Holder, op.Site)
+	case wire.OpSendRef:
+		return heap.NilRef, r.applySendRefLocked(op.Holder, op.To, op.Target)
+	case wire.OpAddRef:
+		_, err := r.heap.AddRef(op.Holder, op.Target)
+		r.settleLocked()
+		return heap.NilRef, err
+	case wire.OpDropRefs:
+		err := r.heap.DropRefs(op.Holder, op.Target.Obj)
+		r.settleLocked()
+		return heap.NilRef, err
+	case wire.OpClearSlot:
+		err := r.heap.ClearSlot(op.Holder, op.Slot)
+		r.settleLocked()
+		return heap.NilRef, err
+	}
+	return heap.NilRef, fmt.Errorf("site %v: apply %v: unknown op", r.id, op.Kind)
+}
+
+func (r *Runtime) applyNewLocalLocked(holder ids.ObjectID) (heap.Ref, error) {
+	if r.heap.Object(holder) == nil {
+		return heap.NilRef, fmt.Errorf("site %v: NewLocal holder %v: %w", r.id, holder, heap.ErrNoSuchObject)
+	}
+	cl := r.heap.NewCluster()
+	r.engine.Register(cl)
+	o := r.heap.NewObject(cl)
+	ref := heap.Ref{Obj: o.ID(), Cluster: cl}
+	if _, err := r.heap.AddRef(holder, ref); err != nil {
+		return heap.NilRef, err
+	}
+	r.settleLocked()
+	return ref, nil
+}
+
+func (r *Runtime) applyNewLocalInLocked(holder ids.ObjectID, cl ids.ClusterID) (heap.Ref, error) {
+	if cl.Site != r.id {
+		return heap.NilRef, fmt.Errorf("site %v: NewLocalIn %v: %w", r.id, cl, heap.ErrForeignCluster)
+	}
+	if r.heap.Object(holder) == nil {
+		return heap.NilRef, fmt.Errorf("site %v: NewLocalIn holder %v: %w", r.id, holder, heap.ErrNoSuchObject)
+	}
+	r.engine.Register(cl)
+	o := r.heap.NewObject(cl)
+	ref := heap.Ref{Obj: o.ID(), Cluster: cl}
+	if _, err := r.heap.AddRef(holder, ref); err != nil {
+		return heap.NilRef, err
+	}
+	r.settleLocked()
+	return ref, nil
+}
+
+func (r *Runtime) applyNewRemoteLocked(holder ids.ObjectID, target ids.SiteID) (heap.Ref, error) {
 	ho := r.heap.Object(holder)
 	if ho == nil {
 		return heap.NilRef, fmt.Errorf("site %v: NewRemote holder %v: %w", r.id, holder, heap.ErrNoSuchObject)
 	}
 	if target == r.id {
 		return heap.NilRef, fmt.Errorf("site %v: NewRemote: %w", r.id, ErrRemoteSelf)
-	}
-	if err := r.journalOp(wire.OpRecord{Kind: wire.OpNewRemote, Holder: holder, Site: target}); err != nil {
-		return heap.NilRef, err
 	}
 	r.mint++
 	obj := ids.ObjectID{Site: target, Seq: uint64(r.id)<<32 | r.mint}
@@ -554,31 +682,19 @@ func (r *Runtime) NewRemote(holder ids.ObjectID, target ids.SiteID) (heap.Ref, e
 		Cluster: cl,
 		Seq:     r.assignMutSeqLocked(target),
 	}
-	r.net.Send(r.id, target, create)
+	r.emitLocked(target, create)
 	r.recordOutboundLocked(target, create.Seq, create)
 	r.settleLocked()
-	r.checkpointLocked()
 	return ref, nil
 }
 
-// SendRef copies a reference the sender holds to a (usually remote)
-// object: the mutator messages of Fig 7. fromObj must currently hold
-// target in one of its slots; to names the destination object. When the
-// destination is local the copy is immediate; otherwise a single mutator
-// message is sent — lazy log-keeping adds no control messages even when
-// target denotes a third-party object on yet another site (§3.4).
-func (r *Runtime) SendRef(fromObj ids.ObjectID, to heap.Ref, target heap.Ref) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+func (r *Runtime) applySendRefLocked(fromObj ids.ObjectID, to heap.Ref, target heap.Ref) error {
 	fo := r.heap.Object(fromObj)
 	if fo == nil {
 		return fmt.Errorf("site %v: SendRef from %v: %w", r.id, fromObj, heap.ErrNoSuchObject)
 	}
 	if !r.holds(fo, target) {
 		return fmt.Errorf("site %v: SendRef: %v of %v: %w", r.id, target, fromObj, ErrNotHolder)
-	}
-	if err := r.journalOp(wire.OpRecord{Kind: wire.OpSendRef, Holder: fromObj, To: to, Target: target}); err != nil {
-		return err
 	}
 	if to.Obj.Site == r.id {
 		if r.heap.Object(to.Obj) == nil {
@@ -587,7 +703,6 @@ func (r *Runtime) SendRef(fromObj ids.ObjectID, to heap.Ref, target heap.Ref) er
 		seq := r.engine.SentRef(fo.Cluster(), target.Cluster, to.Cluster)
 		_, err := r.heap.AddRefIntro(to.Obj, target, fo.Cluster(), seq)
 		r.settleLocked()
-		r.checkpointLocked()
 		return err
 	}
 	// Once a reference to a local object crosses the site boundary, the
@@ -613,10 +728,9 @@ func (r *Runtime) SendRef(fromObj ids.ObjectID, to heap.Ref, target heap.Ref) er
 	if seq != 0 {
 		xfer.Seq = r.assignMutSeqLocked(to.Obj.Site)
 	}
-	r.net.Send(r.id, to.Obj.Site, xfer)
+	r.emitLocked(to.Obj.Site, xfer)
 	r.recordOutboundLocked(to.Obj.Site, xfer.Seq, xfer)
 	r.settleLocked()
-	r.checkpointLocked()
 	return nil
 }
 
@@ -630,46 +744,6 @@ func (r *Runtime) holds(o *heap.Object, target heap.Ref) bool {
 	// own cluster's reference); sending one's own reference is always
 	// legal, mirroring the paper's "sends a reference denoting itself".
 	return target.Obj == o.ID()
-}
-
-// AddRef stores target into a new slot of holder (a local mutation).
-func (r *Runtime) AddRef(holder ids.ObjectID, target heap.Ref) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.journalOp(wire.OpRecord{Kind: wire.OpAddRef, Holder: holder, Target: target}); err != nil {
-		return err
-	}
-	_, err := r.heap.AddRef(holder, target)
-	r.settleLocked()
-	r.checkpointLocked()
-	return err
-}
-
-// DropRefs clears every slot of holder that references target.Obj: the
-// mutator destroys its edge(s) to that object.
-func (r *Runtime) DropRefs(holder ids.ObjectID, target heap.Ref) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.journalOp(wire.OpRecord{Kind: wire.OpDropRefs, Holder: holder, Target: target}); err != nil {
-		return err
-	}
-	err := r.heap.DropRefs(holder, target.Obj)
-	r.settleLocked()
-	r.checkpointLocked()
-	return err
-}
-
-// ClearSlot drops one slot of holder.
-func (r *Runtime) ClearSlot(holder ids.ObjectID, slot int) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.journalOp(wire.OpRecord{Kind: wire.OpClearSlot, Holder: holder, Slot: slot}); err != nil {
-		return err
-	}
-	err := r.heap.ClearSlot(holder, slot)
-	r.settleLocked()
-	r.checkpointLocked()
-	return err
 }
 
 // Collect runs local collections until no further GGD cascade fires.

@@ -146,6 +146,38 @@ type FrameImage struct {
 type WALRecord struct {
 	Op      *OpRecord
 	Deliver *DeliverRecord
+	// Batch is a group of mutator operations committed atomically by the
+	// batched mutator API (DESIGN.md §3.3): one record, one append, one
+	// fsync (or group-commit window) for the whole group. Pre-batch WALs
+	// never carry it, so old logs decode and replay unchanged.
+	Batch *BatchRecord
+}
+
+// BatchRecord is the journaled form of one committed mutator batch.
+// Replay applies the ops in order through the same code path as the
+// live commit, resolving deferred references from the results of
+// earlier ops of the same batch, so a recovered site re-mints the same
+// identities the original commit did.
+type BatchRecord struct {
+	Ops []BatchOp
+}
+
+// BatchOp is one staged mutator operation of a batch. The Op field
+// carries the concrete arguments; the *From fields, when non-zero,
+// defer an argument to the Ref minted by an earlier create op of the
+// same batch (1-based: From==k means the result of batch op k-1), in
+// which case the corresponding OpRecord field is ignored. Deferral is
+// what lets a batch chain ops onto objects that do not exist until the
+// batch commits, without journaling identities that have not been
+// minted yet.
+type BatchOp struct {
+	Op OpRecord
+	// HolderFrom defers Op.Holder to an earlier result's object.
+	HolderFrom int
+	// ToFrom defers Op.To (SendRef destination) to an earlier result.
+	ToFrom int
+	// TargetFrom defers Op.Target to an earlier result.
+	TargetFrom int
 }
 
 // OpKind enumerates journalled mutator operations.
@@ -226,6 +258,7 @@ func init() {
 	gob.Register(FrameAck{})
 	gob.Register(StreamAdvance{})
 	gob.Register(Propagate{})
+	gob.Register(Envelope{})
 }
 
 // EncodeSnapshot renders a SiteImage for persist.Store.WriteSnapshot.
@@ -254,10 +287,26 @@ func DecodeSnapshot(data []byte) (*SiteImage, error) {
 	return &img, nil
 }
 
+// recordArity counts the set fields of a WALRecord (exactly one must
+// be).
+func recordArity(rec *WALRecord) int {
+	n := 0
+	if rec.Op != nil {
+		n++
+	}
+	if rec.Deliver != nil {
+		n++
+	}
+	if rec.Batch != nil {
+		n++
+	}
+	return n
+}
+
 // EncodeRecord renders a WALRecord for persist.Store.Append.
 func EncodeRecord(rec *WALRecord) ([]byte, error) {
-	if (rec.Op == nil) == (rec.Deliver == nil) {
-		return nil, fmt.Errorf("wire: record must set exactly one of Op/Deliver")
+	if recordArity(rec) != 1 {
+		return nil, fmt.Errorf("wire: record must set exactly one of Op/Deliver/Batch")
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
@@ -272,8 +321,8 @@ func DecodeRecord(data []byte) (*WALRecord, error) {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
 		return nil, fmt.Errorf("wire: decode record: %w", err)
 	}
-	if (rec.Op == nil) == (rec.Deliver == nil) {
-		return nil, fmt.Errorf("wire: record sets neither or both of Op/Deliver")
+	if recordArity(&rec) != 1 {
+		return nil, fmt.Errorf("wire: record must set exactly one of Op/Deliver/Batch")
 	}
 	return &rec, nil
 }

@@ -19,6 +19,7 @@ const (
 	KindAck       = "ggd.ack"
 	KindFrameAck  = "ggd.frameack"
 	KindAdvance   = "ggd.advance"
+	KindEnvelope  = "mut.envelope"
 )
 
 // Create asks the destination site to materialise a new object referenced
@@ -197,6 +198,56 @@ func (StreamAdvance) Kind() string { return KindAdvance }
 // ApproxSize implements netsim.Payload.
 func (StreamAdvance) ApproxSize() int { return 17 }
 
+// Envelope is the wire-level coalescing frame of the batched mutator
+// API (DESIGN.md §3.3): every payload a batch commit (or the dispatch
+// of a received envelope) produced for one destination site, carried in
+// one transport send — one length-prefixed socket write on the TCP
+// backend instead of one per frame. The receiver dispatches the inner
+// frames in order, journals the whole envelope as a single delivery
+// record, and settles/acknowledges once per envelope rather than once
+// per frame. Inner frames keep their own retirement-stream sequences,
+// so re-sends (always bare frames) fill the same receiver-side gaps.
+//
+// To netsim's per-kind statistics and per-kind drop faults an envelope
+// is one "mut.envelope" payload: inner kinds are not unwrapped
+// (counting both would double-book the traffic). The targeted per-kind
+// fault lanes drive singleton runtime entry points, which never
+// envelope, so their coverage is unaffected; kind-level byte
+// measurements of batched runs see envelope totals instead of
+// per-inner-kind splits.
+type Envelope struct {
+	// Frames are the coalesced payloads, in send order. An Envelope
+	// never nests another Envelope.
+	Frames []netsim.Payload
+}
+
+// Kind implements netsim.Payload.
+func (Envelope) Kind() string { return KindEnvelope }
+
+// ApproxSize implements netsim.Payload: framing overhead plus the inner
+// payload sizes.
+func (e Envelope) ApproxSize() int {
+	n := 8
+	for _, f := range e.Frames {
+		n += f.ApproxSize()
+	}
+	return n
+}
+
+// ApplicationTraffic implements netsim.Application dynamically: an
+// envelope rides the reliable mutator channel exactly when it carries
+// at least one mutator frame (batch commits); control-only envelopes
+// (a receiver's coalesced ack/assert responses) stay fault-eligible,
+// like the bare frames they replace.
+func (e Envelope) ApplicationTraffic() bool {
+	for _, f := range e.Frames {
+		if !netsim.FaultEligible(f) {
+			return true
+		}
+	}
+	return false
+}
+
 // Propagate circulates increasingly accurate approximations of dependency
 // vectors along the out-edges of the global root graph (§3.3, step 3 of
 // the algorithm): the sender's first-hand incoming-edge vector and clock,
@@ -235,6 +286,8 @@ var (
 	_ netsim.Payload     = HintAck{}
 	_ netsim.Payload     = FrameAck{}
 	_ netsim.Payload     = StreamAdvance{}
+	_ netsim.Payload     = Envelope{}
 	_ netsim.Application = Create{}
 	_ netsim.Application = RefTransfer{}
+	_ netsim.Application = Envelope{}
 )

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"causalgc/internal/site"
+	"causalgc/internal/wire"
 	"causalgc/transport"
 )
 
@@ -27,6 +28,26 @@ func newConfig(opts []Option) config {
 		o(&c)
 	}
 	return c
+}
+
+// validate rejects nonsensical option values with typed errors
+// (ErrBadOption): a negative snapshot cadence, group-commit window,
+// re-send backoff cap or envelope frame cap has no meaning, and
+// accepting one silently would misconfigure the node.
+func (c config) validate() error {
+	if c.snapshotEvery < 0 {
+		return fmt.Errorf("%w: WithSnapshotEvery(%d) must be non-negative", ErrBadOption, c.snapshotEvery)
+	}
+	if c.groupCommit < 0 {
+		return fmt.Errorf("%w: WithGroupCommit(%v) must be non-negative", ErrBadOption, c.groupCommit)
+	}
+	if c.site.Engine.ResendBackoffCap < 0 {
+		return fmt.Errorf("%w: WithResendBackoff(%d) must be non-negative", ErrBadOption, c.site.Engine.ResendBackoffCap)
+	}
+	if c.site.MaxBatchFrames < 0 {
+		return fmt.Errorf("%w: WithMaxBatchFrames(%d) must be non-negative", ErrBadOption, c.site.MaxBatchFrames)
+	}
+	return nil
 }
 
 // WithAutoCollect controls whether a node runs a local collection
@@ -99,6 +120,14 @@ func WithNoSync() Option {
 	return func(c *config) { c.noSync = true }
 }
 
+// WithMaxBatchFrames caps how many wire frames a batch commit (or the
+// dispatch of a received envelope) coalesces into one envelope per
+// destination; larger groups flush in several envelopes. Zero keeps
+// the default (256). See Node.Batch and DESIGN.md §3.3.
+func WithMaxBatchFrames(frames int) Option {
+	return func(c *config) { c.site.MaxBatchFrames = frames }
+}
+
 // WithGroupCommit batches the write-ahead log's fsync across the
 // mutator's op stream: records are written immediately but synced only
 // once per window, cutting the per-operation durability tax an order of
@@ -148,8 +177,14 @@ type Node struct {
 //
 // With WithPersistence, NewNode delegates to Recover and panics on a
 // persistence I/O error; call Recover directly to handle the error.
+// NewNode also panics on an invalid option value (ErrBadOption).
 func NewNode(id SiteID, opts ...Option) *Node {
 	c := newConfig(opts)
+	if err := c.validate(); err != nil {
+		// Panic with the wrapped error value so a recover() can still
+		// match errors.Is(ErrBadOption).
+		panic(fmt.Errorf("causalgc: NewNode(%v): %w", id, err))
+	}
 	if c.persistDir != "" {
 		n, err := Recover(id, opts...)
 		if err != nil {
@@ -174,6 +209,9 @@ func NewNode(id SiteID, opts ...Option) *Node {
 // stamp ordering.
 func Recover(id SiteID, opts ...Option) (*Node, error) {
 	c := newConfig(opts)
+	if err := c.validate(); err != nil {
+		return nil, fmt.Errorf("causalgc: Recover(%v): %w", id, err)
+	}
 	if c.persistDir == "" {
 		return nil, fmt.Errorf("causalgc: Recover(%v): WithPersistence directory required", id)
 	}
@@ -225,12 +263,7 @@ func (n *Node) Close() error {
 	if n.pst != nil {
 		err = n.pst.Close()
 	}
-	if n.ownTr {
-		if terr := closeTransport(n.tr); err == nil {
-			err = terr
-		}
-	}
-	return err
+	return closeOwnedTransport(n.ownTr, n.tr, err)
 }
 
 // closeTransport closes a transport if it supports closing.
@@ -244,28 +277,36 @@ func closeTransport(t transport.Transport) error {
 	return nil
 }
 
+// closeOwnedTransport is the shared teardown tail of Node.Close and
+// Cluster.Close: close the transport only when owned, folding its
+// error behind any earlier one.
+func closeOwnedTransport(owned bool, t transport.Transport, first error) error {
+	if !owned {
+		return first
+	}
+	if err := closeTransport(t); first == nil {
+		first = err
+	}
+	return first
+}
+
 // Root returns the node's root object reference; its slots model the
 // application's named references on this site.
 func (n *Node) Root() Ref { return n.rt.Root() }
 
 // NewLocal creates an object in a fresh cluster on this node, referenced
-// from holder (often the root object).
+// from holder (often the root object). Like every singleton mutator
+// method, it commits as a one-element batch (see Node.Batch): group
+// several operations into one Batch to pay the lock, journal-fsync and
+// transport-framing cost once instead of per call.
 func (n *Node) NewLocal(holder ObjectID) (Ref, error) {
-	if err := n.gate.enter(); err != nil {
-		return NilRef, err
-	}
-	defer n.gate.exit()
-	return n.rt.NewLocal(holder)
+	return n.applyOne(wire.OpRecord{Kind: wire.OpNewLocal, Holder: holder})
 }
 
 // NewLocalIn creates an object in an existing local cluster, referenced
 // from holder: the coarse clustering granularity of the paper's §3.5.
 func (n *Node) NewLocalIn(holder ObjectID, cl ClusterID) (Ref, error) {
-	if err := n.gate.enter(); err != nil {
-		return NilRef, err
-	}
-	defer n.gate.exit()
-	return n.rt.NewLocalIn(holder, cl)
+	return n.applyOne(wire.OpRecord{Kind: wire.OpNewLocalIn, Holder: holder, Clu: cl})
 }
 
 // NewClusterID mints a fresh local cluster identity for NewLocalIn.
@@ -281,11 +322,7 @@ func (n *Node) NewClusterID() (ClusterID, error) {
 // holder. The caller mints the identities, so no round-trip is needed;
 // the returned reference is usable immediately.
 func (n *Node) NewRemote(holder ObjectID, target SiteID) (Ref, error) {
-	if err := n.gate.enter(); err != nil {
-		return NilRef, err
-	}
-	defer n.gate.exit()
-	return n.rt.NewRemote(holder, target)
+	return n.applyOne(wire.OpRecord{Kind: wire.OpNewRemote, Holder: holder, Site: target})
 }
 
 // SendRef copies a reference this node's object fromObj holds to the
@@ -294,38 +331,26 @@ func (n *Node) NewRemote(holder ObjectID, target SiteID) (Ref, error) {
 // synchronous control traffic is added in any case (the paper's lazy
 // log-keeping).
 func (n *Node) SendRef(fromObj ObjectID, to, target Ref) error {
-	if err := n.gate.enter(); err != nil {
-		return err
-	}
-	defer n.gate.exit()
-	return n.rt.SendRef(fromObj, to, target)
+	_, err := n.applyOne(wire.OpRecord{Kind: wire.OpSendRef, Holder: fromObj, To: to, Target: target})
+	return err
 }
 
 // AddRef stores target into a new slot of holder (a local mutation).
 func (n *Node) AddRef(holder ObjectID, target Ref) error {
-	if err := n.gate.enter(); err != nil {
-		return err
-	}
-	defer n.gate.exit()
-	return n.rt.AddRef(holder, target)
+	_, err := n.applyOne(wire.OpRecord{Kind: wire.OpAddRef, Holder: holder, Target: target})
+	return err
 }
 
 // DropRefs clears every slot of holder referencing target's object.
 func (n *Node) DropRefs(holder ObjectID, target Ref) error {
-	if err := n.gate.enter(); err != nil {
-		return err
-	}
-	defer n.gate.exit()
-	return n.rt.DropRefs(holder, target)
+	_, err := n.applyOne(wire.OpRecord{Kind: wire.OpDropRefs, Holder: holder, Target: target})
+	return err
 }
 
 // ClearSlot drops one slot of holder.
 func (n *Node) ClearSlot(holder ObjectID, slot int) error {
-	if err := n.gate.enter(); err != nil {
-		return err
-	}
-	defer n.gate.exit()
-	return n.rt.ClearSlot(holder, slot)
+	_, err := n.applyOne(wire.OpRecord{Kind: wire.OpClearSlot, Holder: holder, Slot: slot})
+	return err
 }
 
 // Collect runs local collections until no further GGD cascade fires, and

@@ -1,0 +1,96 @@
+package tcp_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"causalgc"
+	"causalgc/transport"
+	"causalgc/transport/tcp"
+)
+
+// Compile-time: the TCP backend advertises the Drain capability.
+var _ transport.Drainer = (*tcp.Network)(nil)
+
+// TestDrainFlushesQueues: frames queued behind a dial (the peer address
+// exists but is slow) are flushed by Drain instead of a blind sleep,
+// and a batched commit crosses the socket as one envelope.
+func TestDrainFlushesQueues(t *testing.T) {
+	netA, netB := pair(t)
+	n1 := causalgc.NewNode(1, causalgc.WithTransport(netA))
+	n2 := causalgc.NewNode(2, causalgc.WithTransport(netB))
+	defer n1.Close()
+	defer n2.Close()
+
+	b := n1.Batch()
+	refs := make([]*causalgc.BatchRef, 6)
+	for i := range refs {
+		refs[i] = b.NewRemote(b.Root(), 2)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !netA.Drain(5 * time.Second) {
+		t.Fatal("Drain timed out with a live peer")
+	}
+	// Drain returned: the envelope was written to the socket. Give the
+	// receiving process loop a bounded moment to apply it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ok := func() bool {
+			for _, r := range refs {
+				if !n2.HasObject(r.Obj()) {
+					return false
+				}
+			}
+			return true
+		}(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batched creates not applied on peer")
+		}
+		netB.Drain(time.Second)
+		time.Sleep(time.Millisecond)
+	}
+	sent, _, _, _, _ := netA.Stats().Kind("mut.envelope")
+	if sent != 1 {
+		t.Fatalf("envelopes sent = %d, want 1", sent)
+	}
+	if creates, _, _, _, _ := netA.Stats().Kind("mut.create"); creates != 0 {
+		t.Fatalf("bare creates sent = %d, want 0 (coalesced)", creates)
+	}
+}
+
+// TestDrainTimesOutOnDeadPeer: with an unreachable peer the writer
+// queue cannot flush, and Drain reports failure within its bound
+// instead of hanging.
+func TestDrainTimesOutOnDeadPeer(t *testing.T) {
+	netA, err := tcp.New(tcp.Config{Listen: "127.0.0.1:0", DialTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netA.Close()
+	// A peer address that refuses connections: bind a port, then close
+	// it, so every (re)dial fails fast and the frame stays queued.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.Addr().String()
+	dead.Close()
+	netA.SetPeer(2, addr)
+	n1 := causalgc.NewNode(1, causalgc.WithTransport(netA))
+	defer n1.Close()
+	if _, err := n1.NewRemote(n1.Root().Obj, 2); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if netA.Drain(300 * time.Millisecond) {
+		t.Fatal("Drain reported success with an unreachable peer")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Drain took %v, want ~300ms", elapsed)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"causalgc/internal/ids"
@@ -36,6 +37,7 @@ func init() {
 	gob.Register(wire.FrameAck{})
 	gob.Register(wire.StreamAdvance{})
 	gob.Register(wire.Propagate{})
+	gob.Register(wire.Envelope{})
 }
 
 // RegisterPayload registers a custom payload's concrete type with the
@@ -69,6 +71,12 @@ type Network struct {
 	// past Close.
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// activity counts local queue events (enqueues, handler and write
+	// completions): Drain uses it to certify that a clean sweep over
+	// the queues observed a consistent quiescent cut rather than a
+	// moving target.
+	activity atomic.Uint64
 
 	mu      sync.Mutex
 	peers   map[ids.SiteID]string // site → dial address (from cfg + SetPeer)
@@ -148,7 +156,7 @@ func (n *Network) Register(site ids.SiteID, h transport.Handler) {
 		in.setHandler(h)
 		return
 	}
-	in := newInbox(h)
+	in := newInbox(h, &n.activity)
 	n.inboxes[site] = in
 	// Flush frames that raced the registration, in arrival order, before
 	// any new frame can reach the inbox (both paths hold n.mu).
@@ -251,6 +259,85 @@ func (n *Network) Close() error {
 	return err
 }
 
+// Drain implements transport.Drainer: it blocks until every outbound
+// writer queue has been written to its socket and every local inbox is
+// empty with no handler running, or the timeout elapses, reporting
+// whether it drained. Best-effort by construction — bytes in the OS
+// buffers, on the wire, or queued inside a peer process are out of
+// reach — but it replaces guessing with observation: dial/reconnect
+// backoffs hold frames in the writer queues, and Drain waits those
+// flushes out instead of sleeping a fixed interval.
+func (n *Network) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	confirmed := false
+	poll := 200 * time.Microsecond
+	for {
+		if n.flushedLocally() {
+			// Two consistent flushed cuts separated by a short grace
+			// interval: a frame this process wrote to a loopback socket
+			// moments ago surfaces as inbox activity during the grace
+			// and un-confirms, so same-process traffic settles before
+			// Drain reports success. (Frames in flight to another
+			// process remain out of reach — best effort.)
+			if confirmed {
+				return true
+			}
+			confirmed = true
+			poll = 200 * time.Microsecond
+		} else {
+			confirmed = false
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		// Unflushed polls back off exponentially (200µs → 10ms): a
+		// frame stuck behind a dead peer's reconnect backoff should not
+		// have the whole timeout busy-spinning over every queue mutex.
+		wait := poll
+		if confirmed {
+			wait = 2 * time.Millisecond
+		} else if poll < 10*time.Millisecond {
+			poll *= 2
+		}
+		select {
+		case <-n.ctx.Done():
+			return false
+		case <-time.After(wait):
+		}
+	}
+}
+
+// flushedLocally reports whether all inboxes and writer queues are
+// empty and idle as one consistent cut: the sweep only counts if the
+// activity counter did not move while it ran — otherwise a handler
+// finishing mid-sweep could enqueue into a queue (an already-checked
+// writer, or another local site's inbox) and the pass would certify a
+// moving target.
+func (n *Network) flushedLocally() bool {
+	before := n.activity.Load()
+	n.mu.Lock()
+	ws := make([]*writer, 0, len(n.writers))
+	for _, w := range n.writers {
+		ws = append(ws, w)
+	}
+	ins := make([]*inbox, 0, len(n.inboxes))
+	for _, in := range n.inboxes {
+		ins = append(ins, in)
+	}
+	n.mu.Unlock()
+	for _, in := range ins {
+		if !in.idle() {
+			return false
+		}
+	}
+	for _, w := range ws {
+		if !w.idle() {
+			return false
+		}
+	}
+	return n.activity.Load() == before
+}
+
 // SetPeer adds or updates the dial address for a remote site at runtime
 // (e.g. after a peer bound an ephemeral port). It does not affect frames
 // already queued to the old address.
@@ -323,11 +410,13 @@ func (n *Network) readLoop(conn net.Conn) {
 // handler execution (handlers may send, and sites lock themselves while
 // handling).
 type inbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []delivery
-	h      transport.Handler
-	closed bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []delivery
+	busy     int // deliveries dequeued whose handler has not returned yet
+	h        transport.Handler
+	closed   bool
+	activity *atomic.Uint64 // the owning Network's Drain counter
 }
 
 type delivery struct {
@@ -335,8 +424,8 @@ type delivery struct {
 	p    transport.Payload
 }
 
-func newInbox(h transport.Handler) *inbox {
-	in := &inbox{h: h}
+func newInbox(h transport.Handler, activity *atomic.Uint64) *inbox {
+	in := &inbox{h: h, activity: activity}
 	in.cond = sync.NewCond(&in.mu)
 	return in
 }
@@ -354,6 +443,7 @@ func (in *inbox) enqueue(d delivery) bool {
 		return false
 	}
 	in.queue = append(in.queue, d)
+	in.activity.Add(1)
 	in.cond.Signal()
 	return true
 }
@@ -377,11 +467,24 @@ func (in *inbox) pump(stats *transport.Stats) {
 		}
 		d := in.queue[0]
 		in.queue = in.queue[1:]
+		in.busy++
 		h := in.h
 		in.mu.Unlock()
 		stats.RecordDelivered(d.p)
 		h(d.from, d.p)
+		in.mu.Lock()
+		in.busy--
+		in.mu.Unlock()
+		in.activity.Add(1)
 	}
+}
+
+// idle reports whether the inbox has nothing queued and no handler
+// running.
+func (in *inbox) idle() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.queue) == 0 && in.busy == 0
 }
 
 // --- outbound path -------------------------------------------------------
@@ -413,6 +516,15 @@ func newWriter(n *Network, addr string) *writer {
 	return w
 }
 
+// idle reports whether the writer has written every queued frame to
+// its socket (the queue head is not popped until written, so an empty
+// queue means all handed to the OS).
+func (w *writer) idle() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.queue) == 0
+}
+
 func (w *writer) enqueue(f outFrame) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -420,6 +532,7 @@ func (w *writer) enqueue(f outFrame) bool {
 		return false
 	}
 	w.queue = append(w.queue, f)
+	w.net.activity.Add(1)
 	w.cond.Signal()
 	return true
 }
@@ -467,6 +580,7 @@ func (w *writer) run() {
 		w.mu.Lock()
 		w.queue = w.queue[1:]
 		w.mu.Unlock()
+		w.net.activity.Add(1)
 	}
 }
 

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"time"
+
 	"causalgc/internal/ids"
 	"causalgc/internal/netsim"
 )
@@ -26,6 +28,19 @@ type Handler = netsim.Handler
 // asynchronously (Send must not invoke a handler synchronously on the
 // sending goroutine) and serialise deliveries per destination site.
 type Transport = netsim.Network
+
+// Drainer is an optional Transport capability: Drain blocks until the
+// transport's locally queued frames have been handed off (written to
+// the wire or delivered to local handlers, with no handler still
+// running) or the timeout elapses, reporting whether it drained. It is
+// a best-effort flush, not a quiescence proof — frames already in the
+// OS, in flight, or queued at a peer process are invisible to it.
+// Cluster.Run (and through it Settle) uses the capability instead of a
+// blind sleep; the TCP backend implements it.
+type Drainer interface {
+	// Drain flushes the transport's local queues, bounded by timeout.
+	Drain(timeout time.Duration) bool
+}
 
 // Faults configures fault injection for the in-memory backends.
 type Faults = netsim.Faults
