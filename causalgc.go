@@ -63,6 +63,14 @@ type Observer = site.Observer
 // silent). Same callback rules as Observer.
 type AckObserver = site.AckObserver
 
+// FanoutObserver composes observers into one: every lifecycle event is
+// forwarded to each non-nil child in order, and AckObserver retirement
+// events reach the children that implement that extension. It is the
+// adapter WithMonitor uses internally so a monitor's recorder and a
+// user observer share the observer slot; use it directly to stack
+// several user observers.
+func FanoutObserver(obs ...Observer) Observer { return site.Fanout(obs...) }
+
 // FrameStats counts a node's acknowledged-retirement activity: the
 // outbox gauge and its backstop evictions, FrameAck traffic, retired
 // frames, damper suppressions and floor advisories. See Node.FrameStats.

@@ -7,6 +7,7 @@ import (
 
 	"causalgc/internal/sim"
 	"causalgc/internal/site"
+	"causalgc/monitor"
 	"causalgc/transport"
 )
 
@@ -28,6 +29,7 @@ type Cluster struct {
 	det   *transport.Deterministic // non-nil for the deterministic substrate
 	ownTr bool
 	nodes []*Node
+	msrv  *monitor.Server // one server covering every node (WithMetricsAddr)
 }
 
 // NewCluster builds n nodes over a shared transport. The options are
@@ -50,26 +52,60 @@ func NewCluster(n int, opts ...Option) *Cluster {
 	}
 	c := &Cluster{tr: cfg.tr, ownTr: ownTr}
 	c.det, _ = cfg.tr.(*transport.Deterministic)
+	// Monitoring is per node: with WithMetricsAddr or WithMonitor each
+	// site gets its own monitor (the caller's monitor serves site 1, the
+	// rest are fresh), and one cluster-owned server covers them all.
+	monitored := cfg.metricsAddr != "" || cfg.monitor != nil
+	if cfg.metricsAddr != "" {
+		srv, err := monitor.NewServer(cfg.metricsAddr)
+		if err != nil {
+			closeOwnedTransport(ownTr, cfg.tr, nil)
+			panic(fmt.Sprintf("causalgc: NewCluster: %v", err))
+		}
+		c.msrv = srv
+	}
 	for i := 1; i <= n; i++ {
 		id := SiteID(i)
+		var mon *monitor.Monitor
+		if monitored {
+			if mon = cfg.monitor; i > 1 || mon == nil {
+				mon = monitor.New(0)
+			}
+		}
 		if cfg.persistDir == "" {
-			c.nodes = append(c.nodes, &Node{
-				rt: site.New(id, cfg.tr, cfg.site),
-				tr: cfg.tr,
-			})
-			continue
+			nodeCfg := cfg.site // per-node copy: the observer slot diverges
+			if mon != nil {
+				nodeCfg.Observer = site.Fanout(mon, cfg.site.Observer)
+			}
+			node := &Node{
+				rt:  site.New(id, cfg.tr, nodeCfg),
+				tr:  cfg.tr,
+				mon: mon,
+			}
+			if mon != nil {
+				attachMonitor(mon, node.rt, nil, cfg.tr)
+			}
+			c.nodes = append(c.nodes, node)
+		} else {
+			// One construction path for persistent nodes: Recover, with the
+			// per-site subdirectory, shared transport, per-node monitor and
+			// a cleared metrics address (the cluster serves) appended so
+			// they override whatever the caller's options carried.
+			node, err := Recover(id, append(append([]Option{}, opts...),
+				WithTransport(cfg.tr),
+				WithPersistence(filepath.Join(cfg.persistDir, fmt.Sprintf("site-%d", i))),
+				WithMonitor(mon),
+				WithMetricsAddr(""),
+			)...)
+			if err != nil {
+				c.Close()
+				panic(fmt.Sprintf("causalgc: NewCluster site %v: %v", id, err))
+			}
+			c.nodes = append(c.nodes, node)
 		}
-		// One construction path for persistent nodes: Recover, with the
-		// per-site subdirectory and the shared transport appended so
-		// they override whatever the caller's options carried.
-		node, err := Recover(id, append(append([]Option{}, opts...),
-			WithTransport(cfg.tr),
-			WithPersistence(filepath.Join(cfg.persistDir, fmt.Sprintf("site-%d", i))),
-		)...)
-		if err != nil {
-			panic(fmt.Sprintf("causalgc: NewCluster site %v: %v", id, err))
+		if c.msrv != nil {
+			c.msrv.Attach(mon)
 		}
-		c.nodes = append(c.nodes, node)
 	}
 	return c
 }
@@ -89,12 +125,27 @@ func (c *Cluster) Nodes() []*Node { return c.nodes }
 // Transport returns the shared transport (statistics, fault control).
 func (c *Cluster) Transport() transport.Transport { return c.tr }
 
+// MetricsAddr returns the bound address of the cluster's metrics server
+// (WithMetricsAddr, with any ephemeral port resolved), or "" when the
+// cluster serves none. The one server covers every node: /metrics
+// exposes all sites, distinguished by the site label.
+func (c *Cluster) MetricsAddr() string {
+	if c.msrv == nil {
+		return ""
+	}
+	return c.msrv.Addr()
+}
+
 // Close releases the cluster's resources: every node is closed (which
 // closes its persistence journal, if any), and the transport is closed
 // if the cluster owns it (deterministic default: a no-op beyond
 // bookkeeping; async: joins the delivery goroutines).
 func (c *Cluster) Close() error {
 	var first error
+	if c.msrv != nil {
+		first = c.msrv.Close()
+		c.msrv = nil
+	}
 	for _, n := range c.nodes {
 		if err := n.Close(); err != nil && first == nil {
 			first = err

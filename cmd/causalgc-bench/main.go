@@ -8,11 +8,13 @@
 //
 //	causalgc-bench                              # all experiments
 //	causalgc-bench -exp E6                      # one experiment
+//	causalgc-bench -json results.json           # also write machine-readable results
 //	causalgc-bench -batch-json BENCH_batch.json # batch-vs-singleton throughput point
 package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 
 	"causalgc/eval"
@@ -20,6 +22,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: E5 E6 E7 E8 E9 A2 or all")
+	jsonPath := flag.String("json", "", "write the experiments' machine-readable results (eval.Result array) to this path ('-' for stdout) in addition to the tables")
 	batchJSON := flag.String("batch-json", "", "measure batched vs singleton commit throughput and write the JSON report to this path ('-' for stdout); skips the experiments")
 	flag.Parse()
 	if *batchJSON != "" {
@@ -28,7 +31,30 @@ func main() {
 		}
 		return
 	}
-	if !eval.Run(os.Stdout, *exp) {
+	results, ok := eval.RunResults(os.Stdout, *exp)
+	if *jsonPath != "" && len(results) > 0 {
+		if err := writeResults(*jsonPath, results); err != nil {
+			fmt.Fprintln(os.Stderr, "causalgc-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if !ok {
 		os.Exit(1)
 	}
+}
+
+// writeResults writes the JSON artifact to path, or stdout for "-".
+func writeResults(path string, results []eval.Result) error {
+	if path == "-" {
+		return eval.WriteJSON(os.Stdout, results)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := eval.WriteJSON(f, results); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

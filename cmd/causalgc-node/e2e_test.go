@@ -9,7 +9,9 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -184,13 +186,16 @@ func TestE2ECrashRecovery(t *testing.T) {
 	procB1.kill9()
 	t.Log("SIGKILLed site-2 process after the third-party transfer")
 
-	// Restart from the same persistence directory, serve mode.
+	// Restart from the same persistence directory, serve mode, with the
+	// metrics endpoint enabled.
+	metricsAddr := freePort(t)
 	procB2 := startNode(t, "B2", bin,
 		"-sites", "2",
 		"-listen", addrB,
 		"-peers", fmt.Sprintf("1=%s,3=%s", addrA, addrA),
 		"-persist", persistDir,
 		"-snapshot-every", "4",
+		"-metrics-addr", metricsAddr,
 	)
 	defer func() { procB2.kill9() }()
 	if !procB2.waitLine("recovered from", 15*time.Second) {
@@ -212,7 +217,33 @@ func TestE2ECrashRecovery(t *testing.T) {
 	}
 
 	// And site 2 itself reclaims a: its status line reaches objects=1.
-	if !procB2.waitLine("status objects=1", 30*time.Second) {
+	if !procB2.waitLine("status objects=1 ", 30*time.Second) {
 		t.Fatalf("recovered site 2 never reclaimed the cycle head:\n%s", procB2.dump())
+	}
+
+	// The metrics endpoint serves the same state over HTTP: site 2 is
+	// back to its root alone, the WAL replayed on recovery, and GGD's
+	// removal counter advanced during this node session.
+	if !procB2.waitLine("metrics on", 5*time.Second) {
+		t.Fatalf("B2 never announced its metrics endpoint:\n%s", procB2.dump())
+	}
+	resp, err := http.Get("http://" + metricsAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape B2 metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	for _, want := range []string{
+		`causalgc_objects{site="s2"} 1`,
+		`causalgc_wal_recovered_records{site="s2"}`,
+		`causalgc_clusters_removed_total{site="s2"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("B2 /metrics missing %q:\n%s", want, metrics)
+		}
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"causalgc"
+	"causalgc/monitor"
 	"causalgc/transport/tcp"
 )
 
@@ -56,15 +57,16 @@ func main() {
 	persistDir := flag.String("persist", "", "directory for per-site durability (WAL + snapshots); empty = volatile")
 	snapshotEvery := flag.Int("snapshot-every", 256, "WAL records between snapshots (with -persist)")
 	dialTimeout := flag.Duration("dial-timeout", 2*time.Second, "peer connection attempt timeout")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus/JSON metrics and the event trace for all hosted sites on this address (e.g. 127.0.0.1:9090); empty = disabled")
 	flag.Parse()
 
-	if err := run(*sitesFlag, *listen, *peersFlag, *demo, *timeout, *persistDir, *snapshotEvery, *dialTimeout); err != nil {
+	if err := run(*sitesFlag, *listen, *peersFlag, *demo, *timeout, *persistDir, *snapshotEvery, *dialTimeout, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "causalgc-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sitesFlag, listen, peersFlag string, demo bool, timeout time.Duration, persistDir string, snapshotEvery int, dialTimeout time.Duration) error {
+func run(sitesFlag, listen, peersFlag string, demo bool, timeout time.Duration, persistDir string, snapshotEvery int, dialTimeout time.Duration, metricsAddr string) error {
 	siteIDs, err := parseSites(sitesFlag)
 	if err != nil {
 		return err
@@ -81,10 +83,16 @@ func run(sitesFlag, listen, peersFlag string, demo bool, timeout time.Duration, 
 	defer net.Close()
 	fmt.Printf("listening on %v, hosting sites %v\n", net.Addr(), siteIDs)
 
+	// One monitor per hosted site, whether or not the endpoint is
+	// enabled: serve-mode status lines read from the same snapshots a
+	// scrape would.
 	nodes := make(map[causalgc.SiteID]*causalgc.Node, len(siteIDs))
+	mons := make([]*monitor.Monitor, 0, len(siteIDs))
 	for _, id := range siteIDs {
+		mon := monitor.New(0)
+		mons = append(mons, mon)
 		if persistDir == "" {
-			nodes[id] = causalgc.NewNode(id, causalgc.WithTransport(net))
+			nodes[id] = causalgc.NewNode(id, causalgc.WithTransport(net), causalgc.WithMonitor(mon))
 			continue
 		}
 		dir := filepath.Join(persistDir, fmt.Sprintf("site-%d", id))
@@ -92,6 +100,7 @@ func run(sitesFlag, listen, peersFlag string, demo bool, timeout time.Duration, 
 			causalgc.WithTransport(net),
 			causalgc.WithPersistence(dir),
 			causalgc.WithSnapshotEvery(snapshotEvery),
+			causalgc.WithMonitor(mon),
 		)
 		if err != nil {
 			return fmt.Errorf("recover site %v from %s: %w", id, dir, err)
@@ -104,6 +113,15 @@ func run(sitesFlag, listen, peersFlag string, demo bool, timeout time.Duration, 
 			n.Close()
 		}
 	}()
+
+	if metricsAddr != "" {
+		msrv, err := monitor.NewServer(metricsAddr, mons...)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer msrv.Close()
+		fmt.Printf("metrics on %v\n", msrv.Addr())
+	}
 
 	if !demo {
 		return serve(nodes)
@@ -148,10 +166,13 @@ func run(sitesFlag, listen, peersFlag string, demo bool, timeout time.Duration, 
 // per second (the §5 recovery round — without it, control messages lost
 // to peer restarts would leak residual garbage forever in a long-lived
 // node) and a parseable status line for supervisors and the e2e test.
+// The line is built from the monitors' snapshots — the same numbers a
+// /metrics scrape reports — and keeps `status objects=N` as its stable
+// prefix.
 func serve(nodes map[causalgc.SiteID]*causalgc.Node) error {
 	for {
 		time.Sleep(time.Second)
-		total := 0
+		var objects, removed, collections, retained int
 		for _, n := range nodes {
 			if _, err := n.Collect(); err != nil {
 				return err
@@ -159,9 +180,14 @@ func serve(nodes map[causalgc.SiteID]*causalgc.Node) error {
 			if err := n.Refresh(); err != nil {
 				return err
 			}
-			total += n.NumObjects()
+			snap := n.Monitor().Snapshot()
+			objects += snap.Objects
+			removed += snap.Engine.Removed
+			collections += snap.Collect.Collections
+			retained += snap.Depths.Outbox + snap.Depths.AssertRows + snap.Depths.LegacyBundles
 		}
-		fmt.Printf("status objects=%d\n", total)
+		fmt.Printf("status objects=%d removed=%d collections=%d retained=%d\n",
+			objects, removed, collections, retained)
 	}
 }
 

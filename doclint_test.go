@@ -16,6 +16,7 @@ import (
 // the docs-lint step.
 var docLintPackages = []string{
 	".",
+	"monitor",
 	"transport",
 	"transport/tcp",
 	"persist",

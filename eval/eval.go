@@ -5,7 +5,6 @@ import (
 	"io"
 	"math/rand"
 	"os"
-	"strings"
 
 	"causalgc/internal/baseline/schelvis"
 	"causalgc/internal/baseline/tracing"
@@ -19,73 +18,66 @@ import (
 // Run executes one experiment by identifier (E5, E6, E7, E8, E9, A2) or
 // all of them ("all", case-insensitive), writing tables to w. It
 // reports whether every executed experiment met its expectation; an
-// unknown identifier runs nothing and reports failure.
+// unknown identifier runs nothing and reports failure. RunResults is the
+// structured-output form.
 func Run(w io.Writer, which string) bool {
-	which = strings.ToUpper(which)
-	any := which == "ALL"
-	ok := true
-	ran := false
-	if any || which == "E5" {
-		ok = E5(w) && ok
-		ran = true
-	}
-	if any || which == "E6" {
-		ok = E6(w) && ok
-		ran = true
-	}
-	if any || which == "E7" {
-		ok = E7(w) && ok
-		ran = true
-	}
-	if any || which == "E8" {
-		ok = E8(w) && ok
-		ran = true
-	}
-	if any || which == "E9" {
-		ok = E9(w) && ok
-		ran = true
-	}
-	if any || which == "A2" {
-		ok = A2(w) && ok
-		ran = true
-	}
-	if !ran {
-		fmt.Fprintf(w, "unknown experiment %q (want E5, E6, E7, E8, E9, A2 or all)\n", which)
-		return false
-	}
+	_, ok := RunResults(w, which)
 	return ok
+}
+
+// fail finishes an experiment's Result after an unexpected error.
+func fail(w io.Writer, r Result, err error) Result {
+	fmt.Fprintln(w, "error:", err)
+	r.Pass = false
+	return r
 }
 
 // E5 regenerates Fig 3/8: collecting the paper's distributed cycle
 // {2,3,4}. It reports success iff the cycle is fully reclaimed.
-func E5(w io.Writer) bool {
+func E5(w io.Writer) bool { return e5(w).Pass }
+
+func e5(w io.Writer) Result {
+	r := Result{Experiment: "E5", Metrics: map[string]float64{}}
 	fmt.Fprintln(w, "== E5: Fig 3/8 — collecting the distributed cycle {2,3,4} ==")
 	wd := sim.NewWorld(4, netsim.Faults{Seed: 1}, site.DefaultOptions())
 	sc, err := mutator.BuildPaperScenario(wd)
 	if err != nil {
-		fmt.Fprintln(w, "error:", err)
-		return false
+		return fail(w, r, err)
 	}
 	st := wd.Net().Stats()
 	base := st.TotalSent()
 	if err := sc.DropRootEdge(); err != nil {
-		fmt.Fprintln(w, "error:", err)
-		return false
+		return fail(w, r, err)
 	}
 	if err := wd.Settle(); err != nil {
-		fmt.Fprintln(w, "error:", err)
-		return false
+		return fail(w, r, err)
 	}
 	rep := wd.Check()
 	fmt.Fprintf(w, "cycle collected: %v; GGD messages: %d (destroy=%d prop=%d)\n\n",
 		rep.Clean(), st.TotalSent()-base, st.Sent("ggd.destroy"), st.Sent("ggd.prop"))
-	return rep.Clean()
+	r.Pass = rep.Clean()
+	r.Metrics["cycle_collected"] = b2f(rep.Clean())
+	r.Metrics["ggd_messages"] = float64(st.TotalSent() - base)
+	r.Metrics["destroy_msgs"] = float64(st.Sent("ggd.destroy"))
+	r.Metrics["prop_msgs"] = float64(st.Sent("ggd.prop"))
+	return r
+}
+
+// b2f renders a verdict as a 0/1 metric.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // E6 regenerates the §4 comparison: messages to collect a detached
 // doubly-linked list, for the causal algorithm under the paper's literal
 // guard and the sound guard, versus Schelvis's eager timestamp packets.
-func E6(w io.Writer) bool {
+func E6(w io.Writer) bool { return e6(w).Pass }
+
+func e6(w io.Writer) Result {
+	r := Result{Experiment: "E6", Metrics: map[string]float64{}}
 	fmt.Fprintln(w, "== E6: §4 — messages to collect a detached doubly-linked list ==")
 	fmt.Fprintf(w, "%6s %20s %14s %10s\n", "k", "causal(paper-guard)", "causal(sound)", "schelvis")
 	ok := true
@@ -95,10 +87,14 @@ func E6(w io.Writer) bool {
 		c := DLLSchelvisCost(k)
 		ok = ok && ok1 && ok2
 		fmt.Fprintf(w, "%6d %20d %14d %10d\n", k, a, b, c)
+		r.Metrics[fmt.Sprintf("causal_paper_k%d", k)] = float64(a)
+		r.Metrics[fmt.Sprintf("causal_sound_k%d", k)] = float64(b)
+		r.Metrics[fmt.Sprintf("schelvis_k%d", k)] = float64(c)
 	}
 	fmt.Fprintln(w, "shape: paper-guard O(k); sound O(k²) (smaller constant); schelvis O(k²)")
 	fmt.Fprintln(w)
-	return ok
+	r.Pass = ok
+	return r
 }
 
 // DLLCausalCost returns the number of messages the causal algorithm
@@ -158,7 +154,10 @@ func DLLSchelvisCost(k int) int {
 
 // E7 regenerates the §1/§2.4 contrast: distributed tracing pays per live
 // object each epoch, the causal GGD pays per garbage object.
-func E7(w io.Writer) bool {
+func E7(w io.Writer) bool { return e7(w).Pass }
+
+func e7(w io.Writer) Result {
+	r := Result{Experiment: "E7", Metrics: map[string]float64{}}
 	fmt.Fprintln(w, "== E7: §1/§2.4 — tracing pays per live object; causal pays per garbage ==")
 	fmt.Fprintf(w, "%22s %14s %14s\n", "workload", "tracing msgs", "causal msgs")
 	for _, sh := range []struct{ live, garbage int }{
@@ -167,10 +166,13 @@ func E7(w io.Writer) bool {
 		tr := e7Tracing(sh.live, sh.garbage)
 		ca := e7Causal(sh.live, sh.garbage)
 		fmt.Fprintf(w, "  live=%4d garbage=%3d %14d %14d\n", sh.live, sh.garbage, tr, ca)
+		r.Metrics[fmt.Sprintf("tracing_l%d_g%d", sh.live, sh.garbage)] = float64(tr)
+		r.Metrics[fmt.Sprintf("causal_l%d_g%d", sh.live, sh.garbage)] = float64(ca)
 	}
 	fmt.Fprintln(w, "shape: tracing grows with live count; causal is constant in it")
 	fmt.Fprintln(w)
-	return true
+	r.Pass = true
+	return r
 }
 
 func buildE7(live, garbage int, opts site.Options) (*sim.World, func() error) {
@@ -225,7 +227,10 @@ func e7Causal(live, garbage int) int {
 // E8 regenerates the §1/§5 robustness claims: message loss never
 // violates safety; it only leaves residual garbage that refresh rounds
 // recover once the network heals.
-func E8(w io.Writer) bool {
+func E8(w io.Writer) bool { return e8(w).Pass }
+
+func e8(w io.Writer) Result {
+	r := Result{Experiment: "E8", Metrics: map[string]float64{}}
 	fmt.Fprintln(w, "== E8: §1/§5 — robustness under control-message loss ==")
 	fmt.Fprintf(w, "%10s %10s %14s %10s\n", "drop", "residual", "afterRefresh", "dangling")
 	ok := true
@@ -233,10 +238,15 @@ func E8(w io.Writer) bool {
 		res, rec, dang := e8Run(drop)
 		fmt.Fprintf(w, "%10.1f %10d %14d %10d\n", drop, res, rec, dang)
 		ok = ok && dang == 0
+		key := fmt.Sprintf("drop%02.0f", drop*100)
+		r.Metrics[key+"_residual"] = float64(res)
+		r.Metrics[key+"_after_refresh"] = float64(rec)
+		r.Metrics[key+"_dangling"] = float64(dang)
 	}
 	fmt.Fprintln(w, "safety is unconditional (dangling always 0); loss costs only latency/residual")
 	fmt.Fprintln(w)
-	return ok
+	r.Pass = ok
+	return r
 }
 
 func e8Run(drop float64) (residual, recovered, dangling int) {
@@ -270,39 +280,57 @@ func e8Run(drop float64) (residual, recovered, dangling int) {
 // the crashes land — AND residual garbage must reach zero after bounded
 // refresh rounds: with assert re-send, hint expiry and retained
 // finalisation bundles, a crash or loss costs rounds, never a leak.
-func E9(w io.Writer) bool {
+func E9(w io.Writer) bool { return e9(w).Pass }
+
+func e9(w io.Writer) Result {
+	r := Result{Experiment: "E9", Metrics: map[string]float64{}}
 	fmt.Fprintln(w, "== E9: durability & hint resolution — safety unconditional, residual → 0 ==")
 	ok := true
 	for _, sc := range []struct {
-		name string
-		run  func() (before, after, dangling int, err error)
+		name, key string
+		run       func() (before, after, dangling int, err error)
 	}{
-		{"lost assert, live receiver (dead introduction)", e9LeakLiveReceiver},
-		{"lost assert, crashed receiver", e9LeakCrashedReceiver},
+		{"lost assert, live receiver (dead introduction)", "leak_live", e9LeakLiveReceiver},
+		{"lost assert, crashed receiver", "leak_crashed", e9LeakCrashedReceiver},
 	} {
 		before, after, dangling, err := sc.run()
 		if err != nil {
-			fmt.Fprintln(w, "error:", err)
-			return false
+			return fail(w, r, err)
 		}
 		fmt.Fprintf(w, "%-46s residual=%d afterRefresh=%d dangling=%d\n", sc.name, before, after, dangling)
 		ok = ok && after == 0 && dangling == 0
+		r.Metrics[sc.key+"_residual"] = float64(before)
+		r.Metrics[sc.key+"_after_refresh"] = float64(after)
+		r.Metrics[sc.key+"_dangling"] = float64(dangling)
 	}
 	fmt.Fprintf(w, "%6s %8s %10s %10s %14s %10s\n", "seed", "crashes", "replayed", "residual", "afterRefresh", "dangling")
+	var crashes, replayed, residual, afterRefresh, dangling int
 	for seed := int64(1); seed <= 5; seed++ {
-		r, err := e9Run(seed)
+		sr, err := e9Run(seed)
 		if err != nil {
-			fmt.Fprintln(w, "error:", err)
-			return false
+			return fail(w, r, err)
 		}
 		fmt.Fprintf(w, "%6d %8d %10d %10d %14d %10d\n",
-			seed, r.crashes, r.replayed, r.residual, r.afterRefresh, r.dangling)
-		ok = ok && r.dangling == 0 && r.afterRefresh == 0
+			seed, sr.crashes, sr.replayed, sr.residual, sr.afterRefresh, sr.dangling)
+		ok = ok && sr.dangling == 0 && sr.afterRefresh == 0
+		crashes += sr.crashes
+		replayed += sr.replayed
+		residual += sr.residual
+		afterRefresh += sr.afterRefresh
+		dangling += sr.dangling
 	}
+	r.Metrics["churn_crashes"] = float64(crashes)
+	r.Metrics["churn_replayed"] = float64(replayed)
+	r.Metrics["churn_residual"] = float64(residual)
+	r.Metrics["churn_after_refresh"] = float64(afterRefresh)
+	r.Metrics["churn_dangling"] = float64(dangling)
 	fmt.Fprintln(w, "safety is unconditional (dangling always 0); refresh rounds drive residual to 0")
 	fmt.Fprintln(w)
-	ok = e9SteadyState(w) && ok
-	return ok
+	lastRows, lastBytes, steady := e9SteadyState(w)
+	r.Metrics["e9b_last_reshipped"] = float64(lastRows)
+	r.Metrics["e9b_last_ctl_bytes"] = float64(lastBytes)
+	r.Pass = ok && steady
+	return r
 }
 
 // e9SteadyState measures the steady-state cost of refresh rounds under
@@ -312,28 +340,30 @@ func E9(w io.Writer) bool {
 // destroyed-edge bundles, legacy finalisation bundles, outbox frames —
 // and its destroy/assert wire traffic must be zero bytes. Before the
 // protocol every round re-shipped the full journal and bundle set, so
-// steady-state refresh traffic grew with history; now it converges.
-func e9SteadyState(w io.Writer) bool {
+// steady-state refresh traffic grew with history; now it converges. It
+// returns the final round's re-shipped row count and control bytes
+// (both must be zero) and whether they were.
+func e9SteadyState(w io.Writer) (lastRows, lastBytes int, ok bool) {
 	fmt.Fprintln(w, "-- E9b: steady-state refresh traffic (re-shipped state → 0 after quiescence) --")
 	dir, err := os.MkdirTemp("", "causalgc-e9b-*")
 	if err != nil {
 		fmt.Fprintln(w, "error:", err)
-		return false
+		return -1, -1, false
 	}
 	defer os.RemoveAll(dir)
 	wd, err := sim.NewDurableWorld(4, netsim.Faults{Seed: 3}, site.DefaultOptions(), dir, 64)
 	if err != nil {
 		fmt.Fprintln(w, "error:", err)
-		return false
+		return -1, -1, false
 	}
 	defer wd.Close()
 	if _, err := mutator.Churn(wd, mutator.ChurnConfig{Seed: 19, Ops: 150, StepsBetweenOps: 2}); err != nil {
 		fmt.Fprintln(w, "error:", err)
-		return false
+		return -1, -1, false
 	}
 	if err := wd.Settle(); err != nil {
 		fmt.Fprintln(w, "error:", err)
-		return false
+		return -1, -1, false
 	}
 	reshipped := func() int {
 		n := 0
@@ -351,23 +381,22 @@ func e9SteadyState(w io.Writer) bool {
 		return d + a
 	}
 	fmt.Fprintf(w, "%8s %12s %16s\n", "round", "reshipped", "destroy+assert B")
-	lastRows, lastBytes := 0, 0
 	for round := 1; round <= 5; round++ {
 		rowsBefore, bytesBefore := reshipped(), ctlBytes()
 		if err := wd.RefreshAll(); err != nil {
 			fmt.Fprintln(w, "error:", err)
-			return false
+			return -1, -1, false
 		}
 		if err := wd.Settle(); err != nil {
 			fmt.Fprintln(w, "error:", err)
-			return false
+			return -1, -1, false
 		}
 		lastRows, lastBytes = reshipped()-rowsBefore, ctlBytes()-bytesBefore
 		fmt.Fprintf(w, "%8d %12d %16d\n", round, lastRows, lastBytes)
 	}
-	ok := lastRows == 0 && lastBytes == 0
+	ok = lastRows == 0 && lastBytes == 0
 	fmt.Fprintf(w, "steady-state refresh re-ships nothing: %v\n\n", ok)
-	return ok
+	return lastRows, lastBytes, ok
 }
 
 // e9LeakLiveReceiver reproduces the dead-introduction leak: a reference
@@ -554,14 +583,20 @@ func e9Run(seed int64) (r e9Result, err error) {
 // A2 regenerates the ablation that motivates the sound removal guard:
 // the paper's literal guard produces dangling references on randomised
 // churn; the sound configuration never does.
-func A2(w io.Writer) bool {
+func A2(w io.Writer) bool { return a2(w).Pass }
+
+func a2(w io.Writer) Result {
+	r := Result{Experiment: "A2", Metrics: map[string]float64{}}
 	fmt.Fprintln(w, "== A2: ablation — the paper's literal removal guard is unsound ==")
 	sound := a2Run(false)
 	unsafe := a2Run(true)
 	fmt.Fprintf(w, "dangling references over 10 churn seeds: sound=%d paper-guard=%d\n", sound, unsafe)
 	fmt.Fprintln(w, "(the row-confirmation guard and introduction hints close the race)")
 	fmt.Fprintln(w)
-	return sound == 0
+	r.Pass = sound == 0
+	r.Metrics["dangling_sound"] = float64(sound)
+	r.Metrics["dangling_paper_guard"] = float64(unsafe)
+	return r
 }
 
 func a2Run(unsafeGuard bool) int {

@@ -174,6 +174,21 @@ func (n *AsyncNetwork) Quiesce() {
 	}
 }
 
+// Drain blocks until every queue is empty and every in-flight handler
+// has returned, or the timeout elapses; it reports whether the network
+// went idle. It is the bounded form of Quiesce, satisfying the public
+// transport.Drainer capability.
+func (n *AsyncNetwork) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for !n.idle() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return true
+}
+
 func (n *AsyncNetwork) idle() bool {
 	n.mu.Lock()
 	eps := make([]*asyncEndpoint, 0, len(n.eps))

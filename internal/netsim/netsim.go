@@ -147,6 +147,40 @@ func (s *Stats) RecordDuplicated(p Payload) {
 	s.counters(p.Kind()).duplicated++
 }
 
+// KindStats is a copy of the counters for one payload kind, as returned
+// by Snapshot.
+type KindStats struct {
+	// Sent counts sends of the kind.
+	Sent int
+	// Delivered counts deliveries of the kind.
+	Delivered int
+	// Dropped counts losses of the kind (fault injection, partition,
+	// unreachable or closed destination).
+	Dropped int
+	// Duplicated counts duplicated deliveries of the kind.
+	Duplicated int
+	// Bytes sums the approximate encoded sizes of sends of the kind.
+	Bytes int
+}
+
+// Snapshot returns a copy of the counters of every payload kind seen so
+// far, keyed by kind.
+func (s *Stats) Snapshot() map[string]KindStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]KindStats, len(s.kinds))
+	for kind, k := range s.kinds {
+		out[kind] = KindStats{
+			Sent:       k.sent,
+			Delivered:  k.delivered,
+			Dropped:    k.dropped,
+			Duplicated: k.duplicated,
+			Bytes:      k.bytes,
+		}
+	}
+	return out
+}
+
 // Kind returns a copy of the counters for one payload kind.
 func (s *Stats) Kind(kind string) (sent, delivered, dropped, duplicated, bytes int) {
 	s.mu.Lock()

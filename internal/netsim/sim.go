@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"causalgc/internal/ids"
 )
@@ -166,6 +167,17 @@ func (s *Sim) Run(maxSteps int) (int, error) {
 		}
 	}
 	return n, nil
+}
+
+// Drain delivers every queued message (the single-threaded equivalent of
+// a transport flush) and reports whether the network is quiet. The
+// timeout is accepted for interface compatibility with the public
+// transport.Drainer capability; delivery is synchronous, so it is not
+// consulted.
+func (s *Sim) Drain(timeout time.Duration) bool {
+	_ = timeout
+	_, err := s.Run(0)
+	return err == nil && s.inFlight == 0
 }
 
 // Unregister removes a site's handler, modelling a crashed process:

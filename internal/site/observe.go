@@ -1,0 +1,117 @@
+package site
+
+import (
+	"causalgc/internal/core"
+	"causalgc/internal/heap"
+	"causalgc/internal/ids"
+)
+
+// Fanout composes observers: the returned Observer forwards every
+// lifecycle event to each non-nil child, in order, and forwards
+// AckObserver retirement events to the children that implement that
+// extension. It lets a metrics recorder and a user observer share the
+// single Options.Observer slot instead of displacing one another.
+// With zero or one non-nil child there is no wrapping: Fanout returns
+// nil or the child itself.
+func Fanout(obs ...Observer) Observer {
+	kept := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return fanout(kept)
+}
+
+// fanout is the multi-child composition built by Fanout. It satisfies
+// AckObserver unconditionally, forwarding retirement events only to
+// children that implement the extension.
+type fanout []Observer
+
+var (
+	_ Observer    = fanout(nil)
+	_ AckObserver = fanout(nil)
+)
+
+// ClusterRemoved forwards the removal event to every child.
+func (f fanout) ClusterRemoved(site ids.SiteID, cluster ids.ClusterID) {
+	for _, o := range f {
+		o.ClusterRemoved(site, cluster)
+	}
+}
+
+// Collected forwards the collection event to every child.
+func (f fanout) Collected(site ids.SiteID, stats heap.CollectStats) {
+	for _, o := range f {
+		o.Collected(site, stats)
+	}
+}
+
+// FrameEvicted forwards the eviction event to the children implementing
+// AckObserver.
+func (f fanout) FrameEvicted(site ids.SiteID, peer ids.SiteID, stream core.Stream, frames int) {
+	for _, o := range f {
+		if a, ok := o.(AckObserver); ok {
+			a.FrameEvicted(site, peer, stream, frames)
+		}
+	}
+}
+
+// FrameRetired forwards the retirement event to the children
+// implementing AckObserver.
+func (f fanout) FrameRetired(site ids.SiteID, peer ids.SiteID, stream core.Stream, frames int) {
+	for _, o := range f {
+		if a, ok := o.(AckObserver); ok {
+			a.FrameRetired(site, peer, stream, frames)
+		}
+	}
+}
+
+// Depths reports the sizes of a runtime's retained-state tables: the
+// gauges a monitor watches to confirm the protocol's metadata stays
+// bounded under churn. All but DestroyRows converge to zero at
+// quiescence; DestroyRows settles at the number of destroyed edges
+// still remembered against re-formation.
+type Depths struct {
+	// Outbox is the number of sent mutator frames retained awaiting
+	// cumulative acknowledgement.
+	Outbox int
+	// AssertRows is the engine's un-acknowledged edge-assert journal
+	// size.
+	AssertRows int
+	// DestroyRows is the engine's tracked destroyed-edge bundle count.
+	DestroyRows int
+	// LegacyBundles is the engine's retained finalisation bundle count.
+	LegacyBundles int
+	// PendingRefs is the number of buffered reference transfers awaiting
+	// their holder object.
+	PendingRefs int
+	// PendingDeliveries is the engine's count of buffered control
+	// messages that raced ahead of their target's registration.
+	PendingDeliveries int
+}
+
+// Depths returns the current retained-state table sizes.
+func (r *Runtime) Depths() Depths {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ret := r.engine.Retained()
+	prefs := 0
+	for _, q := range r.pendingRefs {
+		prefs += len(q)
+	}
+	return Depths{
+		Outbox:            len(r.outbox),
+		AssertRows:        ret.AssertRows,
+		DestroyRows:       ret.DestroyRows,
+		LegacyBundles:     ret.LegacyBundles,
+		PendingRefs:       prefs,
+		PendingDeliveries: ret.PendingDeliveries,
+	}
+}

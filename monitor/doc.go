@@ -1,0 +1,78 @@
+// Package monitor is the observability surface of causalgc: a per-node
+// metrics registry (Monitor) that snapshots every statistics surface the
+// system already keeps, a bounded structured event trace fed by the
+// Observer/AckObserver hooks, and an HTTP server exposing both in
+// Prometheus text format and JSON.
+//
+// A Monitor attaches to one node and reads through closures (Sources),
+// so a snapshot always reflects the node's live counters; it also plugs
+// into the node's observer slot — composed with any user observer by the
+// site-level fanout — to record removals, collections, retirements and
+// backstop evictions into a fixed-depth ring with sequence numbers and
+// wall-clock stamps. Wiring is one option: causalgc.WithMonitor hands a
+// Monitor to a Node, causalgc.WithMetricsAddr additionally serves it
+// (one Server per Node, or one per Cluster covering all its nodes), and
+// cmd/causalgc-node exposes the same via -metrics-addr. The
+// cmd/causalgc-soak harness is the reference consumer: it polls
+// /metrics during a long fault-injected run and asserts the steady-state
+// invariants the paper's scalability argument promises.
+//
+// # Metrics reference
+//
+// Every sample carries a site="s<N>" label; causalgc_net_* add
+// kind="<payload>" and causalgc_resends_total adds stream=. Sources:
+// ENG = engine core.Stats, FRM = site FrameStats, DEP = site Depths
+// gauges, COL = accumulated heap.CollectStats, WAL = persist.Stats
+// (persistent nodes only), NET = transport Stats, ORA = oracle via
+// Monitor.SetResidual (test deployments only), TRC = the monitor's own
+// ring.
+//
+//	causalgc_uptime_seconds            gauge    —    seconds since Attach
+//	causalgc_objects                   gauge    heap live heap objects
+//	causalgc_clusters_removed_total    counter  ENG  clusters removed as global garbage
+//	causalgc_evaluations_total         counter  ENG  GGD closure computations
+//	causalgc_propagations_sent_total   counter  ENG  dependency vectors sent
+//	causalgc_destroys_sent_total       counter  ENG  edge-destruction messages sent
+//	causalgc_asserts_sent_total        counter  ENG  edge-asserts sent
+//	causalgc_resends_total{stream}     counter  ENG/FRM refresh re-sends: assert, destroy, legacy, outbox
+//	causalgc_resends_suppressed_total{layer} counter ENG/FRM re-sends the damper held back
+//	causalgc_rows_retired_total        counter  ENG  rows retired by cumulative acks
+//	causalgc_backstop_drops_total{table} counter ENG/FRM hard-cap losses: assert_journal, legacy, outbox
+//	causalgc_hints_expired_total       counter  ENG  introduction hints expired
+//	causalgc_stale_deliveries_total    counter  ENG  messages to removed/unknown processes
+//	causalgc_acks_sent_total           counter  FRM  FrameAcks sent
+//	causalgc_acks_received_total       counter  FRM  FrameAcks received
+//	causalgc_frames_retired_total      counter  FRM  outbox frames retired by acks
+//	causalgc_advances_sent_total       counter  FRM  StreamAdvance advisories sent
+//	causalgc_outbox_depth              gauge    DEP  unacknowledged mutator frames retained
+//	causalgc_assert_journal_depth      gauge    DEP  un-acknowledged edge-asserts journaled
+//	causalgc_destroy_bundles_depth     gauge    DEP  destroyed-edge bundles tracked
+//	causalgc_legacy_bundles_depth      gauge    DEP  finalisation bundles retained
+//	causalgc_pending_refs_depth        gauge    DEP  buffered reference transfers
+//	causalgc_pending_deliveries_depth  gauge    DEP  control messages buffered pre-registration
+//	causalgc_collections_total         counter  COL  mark-sweep collections observed
+//	causalgc_collect_marked_total      counter  COL  objects marked, summed
+//	causalgc_collect_swept_total       counter  COL  objects reclaimed, summed
+//	causalgc_wal_appends_total         counter  WAL  records appended
+//	causalgc_wal_syncs_total           counter  WAL  fsyncs issued
+//	causalgc_wal_fsync_seconds_total   counter  WAL  total time in fsync
+//	causalgc_wal_fsync_max_seconds     gauge    WAL  slowest single fsync
+//	causalgc_wal_snapshots_total       counter  WAL  snapshots written
+//	causalgc_wal_recovered_records     gauge    WAL  records recovered at open
+//	causalgc_wal_discarded_tail_bytes  gauge    WAL  torn tail discarded at open
+//	causalgc_net_sent_total{kind}      counter  NET  sends by payload kind
+//	causalgc_net_delivered_total{kind} counter  NET  deliveries by payload kind
+//	causalgc_net_dropped_total{kind}   counter  NET  losses by payload kind
+//	causalgc_net_duplicated_total{kind} counter NET  duplicated deliveries by kind
+//	causalgc_net_bytes_total{kind}     counter  NET  approximate payload bytes by kind
+//	causalgc_residual_garbage          gauge    ORA  unreclaimed garbage objects (absent in production)
+//	causalgc_trace_recorded_total      counter  TRC  events ever recorded
+//	causalgc_trace_dropped_total       counter  TRC  events overwritten off the ring
+//
+// Counters restart with the node session they come from (a recovered
+// node re-attaches and its ENG/FRM/WAL counters begin again); Prometheus
+// rate() handles the resets as usual. The depth gauges are the
+// boundedness story: under a steady workload with periodic Refresh,
+// everything but causalgc_destroy_bundles_depth must return to zero at
+// quiescence, and the backstop counters must stay flat.
+package monitor

@@ -6,6 +6,7 @@ import (
 
 	"causalgc/internal/site"
 	"causalgc/internal/wire"
+	"causalgc/monitor"
 	"causalgc/transport"
 )
 
@@ -20,6 +21,21 @@ type config struct {
 	snapshotEvery int
 	noSync        bool
 	groupCommit   time.Duration
+	monitor       *monitor.Monitor
+	metricsAddr   string
+}
+
+// setupMonitor composes the configured monitor into the node's observer
+// slot — creating one when a metrics address was given without a
+// monitor — so it records events alongside any user observer. Must run
+// before the runtime is built.
+func (c *config) setupMonitor() {
+	if c.metricsAddr != "" && c.monitor == nil {
+		c.monitor = monitor.New(0)
+	}
+	if c.monitor != nil {
+		c.site.Observer = site.Fanout(c.monitor, c.site.Observer)
+	}
 }
 
 func newConfig(opts []Option) config {
@@ -128,6 +144,31 @@ func WithMaxBatchFrames(frames int) Option {
 	return func(c *config) { c.site.MaxBatchFrames = frames }
 }
 
+// WithMonitor attaches a metrics monitor to the node: the monitor's
+// event recorder joins the observer slot (composed with any WithObserver
+// observer via the event fanout, displacing neither) and its snapshot
+// sources are bound to the node's stats surfaces. The caller keeps the
+// monitor — serve it with monitor.NewServer, or let WithMetricsAddr do
+// so. When passed to NewCluster, the supplied monitor serves site 1 and
+// the remaining sites get fresh ones; read them back with Node.Monitor.
+// A monitor handed to a recovered node re-attaches: its trace carries
+// across the restart while per-session counters restart.
+func WithMonitor(m *monitor.Monitor) Option {
+	return func(c *config) { c.monitor = m }
+}
+
+// WithMetricsAddr serves the node's monitor over HTTP at addr
+// (host:port; port 0 picks an ephemeral one, read back with
+// Node.MetricsAddr): Prometheus text at /metrics, JSON snapshots at
+// /metrics.json, the structured event trace at /trace. A monitor is
+// created if WithMonitor supplied none. The node owns the server and
+// closes it in Close. On NewCluster the cluster starts one server
+// covering every node instead (read its address with
+// Cluster.MetricsAddr). An empty addr disables serving.
+func WithMetricsAddr(addr string) Option {
+	return func(c *config) { c.metricsAddr = addr }
+}
+
 // WithGroupCommit batches the write-ahead log's fsync across the
 // mutator's op stream: records are written immediately but synced only
 // once per window, cutting the per-operation durability tax an order of
@@ -166,8 +207,28 @@ type Node struct {
 	tr    transport.Transport
 	ownTr bool
 	pst   *site.Persist
+	mon   *monitor.Monitor
+	msrv  *monitor.Server // owned metrics server (WithMetricsAddr), or nil
 
 	gate closeGate
+}
+
+// attachMonitor binds a monitor's snapshot sources to a freshly built
+// runtime (and its persistence store and transport, when present).
+func attachMonitor(m *monitor.Monitor, rt *site.Runtime, pst *site.Persist, tr transport.Transport) {
+	src := monitor.Sources{
+		Objects: rt.NumObjects,
+		Engine:  rt.EngineStats,
+		Frames:  rt.FrameStats,
+		Depths:  rt.Depths,
+	}
+	if pst != nil {
+		src.Persist = pst.Store().Stats
+	}
+	if tr != nil {
+		src.Transport = tr.Stats()
+	}
+	m.Attach(rt.ID(), src)
 }
 
 // NewNode creates a node for site id and registers it on its transport.
@@ -197,7 +258,20 @@ func NewNode(id SiteID, opts ...Option) *Node {
 		c.tr = transport.NewAsync(transport.Faults{})
 		ownTr = true
 	}
-	return &Node{rt: site.New(id, c.tr, c.site), tr: c.tr, ownTr: ownTr}
+	c.setupMonitor()
+	n := &Node{rt: site.New(id, c.tr, c.site), tr: c.tr, ownTr: ownTr, mon: c.monitor}
+	if n.mon != nil {
+		attachMonitor(n.mon, n.rt, nil, n.tr)
+	}
+	if c.metricsAddr != "" {
+		srv, err := monitor.NewServer(c.metricsAddr, n.mon)
+		if err != nil {
+			n.Close()
+			panic(fmt.Sprintf("causalgc: NewNode(%v): %v", id, err))
+		}
+		n.msrv = srv
+	}
+	return n
 }
 
 // Recover builds a durable node from its WithPersistence directory:
@@ -220,6 +294,13 @@ func Recover(id SiteID, opts ...Option) (*Node, error) {
 		c.tr = transport.NewAsync(transport.Faults{})
 		ownTr = true
 	}
+	c.setupMonitor()
+	if c.monitor != nil {
+		// Pre-attach with empty sources so events re-fired during the WAL
+		// replay below are traced with the right site; the real sources
+		// bind once the runtime exists.
+		c.monitor.Attach(id, monitor.Sources{})
+	}
 	pst, err := site.OpenPersist(c.persistDir, site.PersistOptions{
 		SnapshotEvery: c.snapshotEvery,
 		Store:         persistStoreOptions(c),
@@ -238,7 +319,19 @@ func Recover(id SiteID, opts ...Option) (*Node, error) {
 		}
 		return nil, err
 	}
-	return &Node{rt: rt, tr: c.tr, ownTr: ownTr, pst: pst}, nil
+	n := &Node{rt: rt, tr: c.tr, ownTr: ownTr, pst: pst, mon: c.monitor}
+	if n.mon != nil {
+		attachMonitor(n.mon, n.rt, n.pst, n.tr)
+	}
+	if c.metricsAddr != "" {
+		srv, serr := monitor.NewServer(c.metricsAddr, n.mon)
+		if serr != nil {
+			n.Close()
+			return nil, fmt.Errorf("causalgc: Recover(%v): %w", id, serr)
+		}
+		n.msrv = srv
+	}
+	return n, nil
 }
 
 // ID returns the node's site identifier.
@@ -246,6 +339,20 @@ func (n *Node) ID() SiteID { return n.rt.ID() }
 
 // Transport returns the transport the node is registered on.
 func (n *Node) Transport() transport.Transport { return n.tr }
+
+// Monitor returns the node's attached metrics monitor, or nil when the
+// node was built without WithMonitor/WithMetricsAddr.
+func (n *Node) Monitor() *monitor.Monitor { return n.mon }
+
+// MetricsAddr returns the bound address of the node's own metrics
+// server (WithMetricsAddr, with any ephemeral port resolved), or ""
+// when the node serves none.
+func (n *Node) MetricsAddr() string {
+	if n.msrv == nil {
+		return ""
+	}
+	return n.msrv.Addr()
+}
 
 // Close releases the node's resources: the persistence journal is
 // closed (crash-equivalent — no final snapshot is forced; call
@@ -258,10 +365,15 @@ func (n *Node) Close() error {
 	if !n.gate.close() {
 		return nil
 	}
-	n.rt.Close() // freeze: drop further deliveries from shared transports
 	var err error
+	if n.msrv != nil {
+		err = n.msrv.Close() // stop scrapes before the state freezes
+	}
+	n.rt.Close() // freeze: drop further deliveries from shared transports
 	if n.pst != nil {
-		err = n.pst.Close()
+		if perr := n.pst.Close(); err == nil {
+			err = perr
+		}
 	}
 	return closeOwnedTransport(n.ownTr, n.tr, err)
 }

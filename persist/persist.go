@@ -76,6 +76,13 @@ type Stats struct {
 	// Syncs counts WAL fsyncs in this session; with group commit it
 	// trails Appends, quantifying the batching.
 	Syncs int
+	// SyncNanos is the total wall-clock time spent in WAL fsyncs this
+	// session, in nanoseconds; SyncNanos/Syncs is the mean fsync latency
+	// the durability tax the store is paying per sync.
+	SyncNanos int64
+	// SyncMaxNanos is the slowest single WAL fsync of the session, in
+	// nanoseconds — the tail a latency budget is asserted against.
+	SyncMaxNanos int64
 	// Snapshots counts snapshots written in this session.
 	Snapshots int
 	// RecoveredRecords counts WAL records recovered at Open.
@@ -228,14 +235,13 @@ func (s *Store) Append(payload []byte) error {
 			}
 		}
 	default:
-		if err := s.seg.Sync(); err != nil {
+		if err := s.syncSegLocked(); err != nil {
 			// The frame is in the file but not provably durable: roll it
 			// back so the caller's "append failed ⇒ event never happened"
 			// contract holds.
 			s.rollbackTornWriteLocked()
 			return fmt.Errorf("persist: sync: %w", err)
 		}
-		s.stats.Syncs++
 	}
 	s.segSize += int64(len(frame))
 	s.stats.Appends++
@@ -251,13 +257,30 @@ func (s *Store) flushLocked() error {
 		s.dirty = false
 		return nil
 	}
-	if err := s.seg.Sync(); err != nil {
+	if err := s.syncSegLocked(); err != nil {
 		s.failed = fmt.Errorf("persist: group-commit flush failed: %w", err)
 		return s.failed
 	}
 	s.dirty = false
 	s.lastSync = time.Now()
+	return nil
+}
+
+// syncSegLocked fsyncs the live segment, timing the call and folding the
+// latency into the stats on success. Every WAL fsync — per-record and
+// group-commit — funnels through here so the latency aggregation covers
+// both modes.
+func (s *Store) syncSegLocked() error {
+	start := time.Now()
+	if err := s.seg.Sync(); err != nil {
+		return err
+	}
+	d := time.Since(start).Nanoseconds()
 	s.stats.Syncs++
+	s.stats.SyncNanos += d
+	if d > s.stats.SyncMaxNanos {
+		s.stats.SyncMaxNanos = d
+	}
 	return nil
 }
 

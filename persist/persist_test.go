@@ -408,6 +408,16 @@ func TestGroupCommitBatchesSyncs(t *testing.T) {
 	if err := s.Flush(); err != nil {
 		t.Fatalf("Flush: %v", err)
 	}
+	// Every fsync that happened was timed: the latency aggregation is
+	// live under group commit.
+	st = s.Stats()
+	if st.Syncs > 0 && (st.SyncNanos <= 0 || st.SyncMaxNanos <= 0) {
+		t.Errorf("fsync latency not aggregated: Syncs=%d SyncNanos=%d SyncMaxNanos=%d",
+			st.Syncs, st.SyncNanos, st.SyncMaxNanos)
+	}
+	if st.SyncMaxNanos > st.SyncNanos {
+		t.Errorf("SyncMaxNanos=%d exceeds total SyncNanos=%d", st.SyncMaxNanos, st.SyncNanos)
+	}
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
@@ -426,6 +436,9 @@ func TestGroupCommitWindowElapses(t *testing.T) {
 	// degrades to per-record durability, never below it.
 	if st := s.Stats(); st.Syncs != st.Appends {
 		t.Errorf("Syncs = %d, Appends = %d: elapsed window did not sync", st.Syncs, st.Appends)
+	} else if st.SyncNanos <= 0 || st.SyncMaxNanos <= 0 {
+		t.Errorf("per-record fsyncs not timed: SyncNanos=%d SyncMaxNanos=%d",
+			st.SyncNanos, st.SyncMaxNanos)
 	}
 }
 

@@ -49,6 +49,10 @@ type Faults = netsim.Faults
 // duplications and approximate bytes. Safe for concurrent use.
 type Stats = netsim.Stats
 
+// KindStats is a copy of one payload kind's counters, as returned by
+// Stats.Snapshot (the map form the monitor package exports per kind).
+type KindStats = netsim.KindStats
+
 // NewStats returns empty statistics, for custom Transport
 // implementations.
 func NewStats() *Stats { return netsim.NewStats() }
