@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"causalgc/internal/analysis"
+)
+
+// TestModuleInvariantsClean runs the entire analyzer suite over the
+// module exactly as CI's vet-invariants job does and fails on any
+// diagnostic: the statically enforced invariants hold on every tree
+// that passes go test ./..., not only where causalgc-vet is run by
+// hand. The working directory of a test binary is its package
+// directory, which is inside the module, so pattern expansion resolves
+// against the repository root.
+func TestModuleInvariantsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	all := make([]*analysis.Analyzer, 0, len(suite))
+	for _, s := range suite {
+		all = append(all, s.analyzer)
+	}
+	diags, err := vet([]string{"./..."}, all)
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

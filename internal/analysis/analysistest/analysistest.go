@@ -1,0 +1,171 @@
+// Package analysistest is the golden-file test harness for the
+// invariant analyzers, a compact analogue of
+// golang.org/x/tools/go/analysis/analysistest: each analyzer ships a
+// testdata/src/<pkg> package whose sources mark every expected
+// diagnostic with a trailing
+//
+//	// want "regexp"
+//
+// comment (several quoted regexps allowed). Run loads the package,
+// applies the analyzer and fails the test on any diagnostic without a
+// matching want, or any want without a matching diagnostic — so every
+// rule is proven both to fire on a seeded violation and to stay quiet
+// on the compliant and directive-annotated forms.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"causalgc/internal/analysis"
+)
+
+// wantRE extracts the expectation list from a // want comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRE extracts the individual quoted regexps of an expectation
+// (double-quoted or backquoted, as in upstream analysistest).
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// expectation is one unmatched want entry at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// Run loads each testdata/src/<pkg> directory, applies the analyzer
+// and matches diagnostics against the // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		loader := analysis.NewLoader("", "")
+		units, err := loader.LoadDir(dir, pkg)
+		if err != nil {
+			t.Errorf("%s: load: %v", pkg, err)
+			continue
+		}
+		if len(units) == 0 {
+			t.Errorf("%s: no Go files in %s", pkg, dir)
+			continue
+		}
+		wantMarkers := collectWants(t, units)
+		stripWantComments(units)
+		diags, err := analysis.Run(units, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: run: %v", pkg, err)
+			continue
+		}
+		wants := wantMarkers
+		for _, d := range diags {
+			if !consume(wants, d) {
+				t.Errorf("%s: unexpected diagnostic: %s", pkg, d)
+			}
+		}
+		for _, w := range wants {
+			if w.re != nil {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q", pkg, filepath.Base(w.file), w.line, w.re)
+			}
+		}
+	}
+}
+
+// collectWants parses the // want comments of every loaded file.
+func collectWants(t *testing.T, units []*analysis.Unit) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	seen := map[*ast.File]bool{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := u.Fset.Position(c.Pos())
+					for _, q := range quotedRE.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// stripWantComments detaches // want marker groups from the Doc and
+// Comment fields of declarations, so a marker placed on the line of a
+// seeded missing-doc violation does not itself count as the missing
+// documentation. The markers stay in File.Comments for matching.
+func stripWantComments(units []*analysis.Unit) {
+	seen := map[*ast.File]bool{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			f.Doc = stripGroup(f.Doc)
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GenDecl:
+					n.Doc = stripGroup(n.Doc)
+				case *ast.FuncDecl:
+					n.Doc = stripGroup(n.Doc)
+				case *ast.TypeSpec:
+					n.Doc, n.Comment = stripGroup(n.Doc), stripGroup(n.Comment)
+				case *ast.ValueSpec:
+					n.Doc, n.Comment = stripGroup(n.Doc), stripGroup(n.Comment)
+				case *ast.Field:
+					n.Doc, n.Comment = stripGroup(n.Doc), stripGroup(n.Comment)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// stripGroup nils a comment group consisting solely of want markers.
+func stripGroup(cg *ast.CommentGroup) *ast.CommentGroup {
+	if cg == nil {
+		return nil
+	}
+	for _, c := range cg.List {
+		if !wantRE.MatchString(c.Text) {
+			return cg
+		}
+	}
+	return nil
+}
+
+// consume matches a diagnostic against the unconsumed wants on its
+// line and marks the first match used.
+func consume(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.re == nil || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.re = nil
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package determcheck_test
+
+import (
+	"testing"
+
+	"causalgc/internal/analysis/analysistest"
+	"causalgc/internal/analysis/determcheck"
+)
+
+// TestDetermCheck proves the wall-clock, global-rand and
+// map-iteration-output rules fire on seeded violations (including an
+// aliased time import), spare the seeded-rand and collect-and-sort
+// idioms and every directive form, and ignore packages outside the
+// determinism contract.
+func TestDetermCheck(t *testing.T) {
+	a := determcheck.New(determcheck.Config{Packages: []string{"determpkg"}})
+	analysistest.Run(t, "testdata", a, "determpkg", "freepkg")
+}

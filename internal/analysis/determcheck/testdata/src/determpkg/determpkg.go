@@ -1,0 +1,73 @@
+// Package determpkg seeds determcheck violations and compliant forms.
+package determpkg
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	wall "time"
+)
+
+type out struct{}
+
+func (out) Send(p interface{}) {}
+
+func clock() time.Time {
+	return time.Now() // want "wall-clock read time.Now in a deterministic package"
+}
+
+func auditedClock() time.Time {
+	return time.Now() //causalgc:allow-wallclock monitor timestamp, display only — never replayed
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want "wall-clock read time.Since in a deterministic package"
+}
+
+func aliasedClock() wall.Time {
+	return wall.Now() // want "wall-clock read wall.Now in a deterministic package"
+}
+
+func sleepOK() {
+	time.Sleep(time.Millisecond)
+}
+
+func draw() int {
+	return rand.Int() // want "rand.Int draws from the global rand source"
+}
+
+func auditedDraw() int {
+	return rand.Int() //causalgc:allow-rand jitter for a backoff that feeds no replayed state
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func seededDraw(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+func fanoutBad(o out, peers map[int]string) {
+	for p := range peers {
+		o.Send(p) // want "Send inside a map iteration emits in nondeterministic order"
+	}
+}
+
+func fanoutAudited(o out, peers map[int]string) {
+	for p := range peers {
+		o.Send(p) //causalgc:allow-maporder receiver is order-insensitive: a counter sink
+	}
+}
+
+func fanoutGood(o out, peers map[int]string) {
+	keys := make([]int, 0, len(peers))
+	for k := range peers {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		o.Send(k)
+	}
+}

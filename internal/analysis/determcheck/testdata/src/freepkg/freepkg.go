@@ -1,0 +1,9 @@
+// Package freepkg is outside the determinism contract: wall-clock
+// reads here are not diagnosed.
+package freepkg
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now()
+}

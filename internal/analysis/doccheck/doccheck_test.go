@@ -1,0 +1,17 @@
+package doccheck_test
+
+import (
+	"testing"
+
+	"causalgc/internal/analysis/analysistest"
+	"causalgc/internal/analysis/doccheck"
+)
+
+// TestDocCheck proves the ported doclint rules: package doc, exported
+// funcs, methods on exported receivers, types and var/const specs
+// (documented groups and trailing line comments count; unexported
+// receivers are exempt), with the scope restricted to the lint set.
+func TestDocCheck(t *testing.T) {
+	a := doccheck.New(doccheck.Config{Packages: []string{"docpkg", "nodocpkg"}})
+	analysistest.Run(t, "testdata", a, "docpkg", "nodocpkg")
+}

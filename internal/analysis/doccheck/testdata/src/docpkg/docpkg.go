@@ -1,0 +1,47 @@
+// Package docpkg seeds doccheck violations and compliant forms.
+package docpkg
+
+// Documented is fine.
+type Documented struct{}
+
+type Undocumented struct{} // want "exported type Undocumented lacks a doc comment"
+
+// Do is fine.
+func Do() {}
+
+func Bare() {} // want "exported func Bare lacks a doc comment"
+
+type widget struct{}
+
+// Spin is a method on an unexported receiver: not part of the lint
+// surface even without a doc comment.
+func (widget) Spin() {}
+
+func (widget) Whirl() {}
+
+// Exported methods on exported receivers need doc comments.
+type Gadget struct{}
+
+// Run is fine.
+func (Gadget) Run() {}
+
+func (Gadget) Walk() {} // want "exported method Walk lacks a doc comment"
+
+// V is fine.
+var V int
+
+var W int // want "exported var W lacks a doc comment"
+
+// Grouped declarations: a documented group covers its members.
+var (
+	X int
+	Y int
+)
+
+const (
+	// One is fine.
+	One = 1
+	Two = 2 // want "exported const Two lacks a doc comment"
+)
+
+const Three = 3 // Three carries a trailing line comment, which counts.

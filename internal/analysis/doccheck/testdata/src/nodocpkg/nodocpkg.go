@@ -1,0 +1,4 @@
+package nodocpkg // want "package nodocpkg has no package doc comment"
+
+// A is fine.
+var A int

@@ -1,0 +1,15 @@
+package errcmpcheck_test
+
+import (
+	"testing"
+
+	"causalgc/internal/analysis/analysistest"
+	"causalgc/internal/analysis/errcmpcheck"
+)
+
+// TestErrCmpCheck proves ==, != and switch-case sentinel comparisons
+// are flagged while errors.Is, nil probes, non-error Err* names,
+// local shadows and the directive form stay quiet.
+func TestErrCmpCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", errcmpcheck.New(), "errcmppkg")
+}

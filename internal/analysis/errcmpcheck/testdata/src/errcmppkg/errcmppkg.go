@@ -1,0 +1,55 @@
+// Package errcmppkg seeds errcmpcheck violations and compliant forms.
+package errcmppkg
+
+import "errors"
+
+// ErrGone is a sentinel.
+var ErrGone = errors.New("gone")
+
+// ErrBusy is a sentinel.
+var ErrBusy = errors.New("busy")
+
+// ErrCode is not an error at all; the type filter must spare it.
+var ErrCode = 404
+
+func bad(err error) bool {
+	return err == ErrGone // want `sentinel error ErrGone compared with ==`
+}
+
+func badNeq(err error) bool {
+	return ErrBusy != err // want `sentinel error ErrBusy compared with !=`
+}
+
+func badSwitch(err error) int {
+	switch err {
+	case ErrGone: // want `sentinel error ErrGone as a switch case`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+func good(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+func nilProbe() bool {
+	return ErrGone == nil
+}
+
+func notAnError(x int) bool {
+	return x == ErrCode
+}
+
+func audited(err error) bool {
+	return err == ErrGone //causalgc:allow-errcmp identity probe for the exact unwrapped value
+}
+
+func localShadow() bool {
+	// A local variable matching the naming convention is not a
+	// package-level sentinel.
+	ErrLocal := errors.New("local")
+	var err error
+	return err == ErrLocal
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Unit is one type-checked body of syntax handed to analyzers: a
+// package's sources, or a directory's external _test package.
+type Unit struct {
+	// Path is the unit's import path (directory base name for
+	// packages loaded outside a module, e.g. analysistest testdata).
+	Path string
+	// Name is the declared package name.
+	Name string
+	// Fset resolves positions for Files.
+	Fset *token.FileSet
+	// Files are all parsed files in the unit, test files included.
+	Files []*ast.File
+	// Types is the type-checked package; nil if checking failed hard.
+	Types *types.Package
+	// Info carries resolution results (possibly partial under type
+	// errors). Never nil.
+	Info *types.Info
+	// TypeErrors collects soft type-check errors; analysis proceeds
+	// on the partial information.
+	TypeErrors []error
+}
+
+// Filename returns the name of the file f belongs to.
+func (u *Unit) Filename(f *ast.File) string {
+	return u.Fset.Position(f.Package).Filename
+}
+
+// Loader parses and type-checks packages without the go command:
+// module-internal imports resolve against the module root, standard
+// library imports through go/importer's source importer. One Loader
+// caches every package it checks, so loading ./... type-checks each
+// dependency once.
+type Loader struct {
+	// Fset is shared by every unit the loader produces.
+	Fset *token.FileSet
+
+	moduleRoot string
+	modulePath string
+	std        types.Importer
+	cache      map[string]*types.Package
+	loading    map[string]bool
+}
+
+// NewLoader returns a Loader rooted at moduleRoot (the directory
+// holding go.mod) for the given module path. Both may be empty for
+// loading self-contained directories such as analyzer testdata.
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	// The source importer type-checks the standard library from
+	// GOROOT sources; with cgo enabled go/build would select cgo
+	// variants (net, os/user) that cannot be type-checked without
+	// running the cgo tool, so force the pure-Go file sets.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		moduleRoot: moduleRoot,
+		modulePath: modulePath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      map[string]*types.Package{},
+		loading:    map[string]bool{},
+	}
+}
+
+// Import resolves an import path for the type checker. Module-internal
+// paths are type-checked from source under the module root (non-test
+// files only, matching what an importer of the package sees);
+// everything else is delegated to the standard-library source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.modulePath != "" && (path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/")) {
+		if l.loading[path] {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		l.loading[path] = true
+		defer delete(l.loading, path)
+		dir := filepath.Join(l.moduleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modulePath)))
+		files, err := l.parseDir(dir, func(name string) bool {
+			return !strings.HasSuffix(name, "_test.go")
+		})
+		if err != nil {
+			return nil, err
+		}
+		pkg, _, _ := l.check(path, files)
+		if pkg == nil {
+			return nil, fmt.Errorf("type-checking %q failed", path)
+		}
+		l.cache[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks every .go file in dir and returns the
+// analysis units: the package itself (in-package test files included)
+// and, when present, the external _test package. pkgPath is the import
+// path to record on the units.
+func (l *Loader) LoadDir(dir, pkgPath string) ([]*Unit, error) {
+	all, err := l.parseDir(dir, func(string) bool { return true })
+	if err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+	// Split the directory into the primary package and the external
+	// test package (package foo_test).
+	names := map[string]bool{}
+	for _, f := range all {
+		names[f.Name.Name] = true
+	}
+	primaryName := ""
+	for n := range names {
+		if !strings.HasSuffix(n, "_test") || !names[strings.TrimSuffix(n, "_test")] {
+			if primaryName == "" || n < primaryName {
+				primaryName = n
+			}
+		}
+	}
+	var primary, external []*ast.File
+	for _, f := range all {
+		if f.Name.Name == primaryName {
+			primary = append(primary, f)
+		} else {
+			external = append(external, f)
+		}
+	}
+	var units []*Unit
+	if len(primary) > 0 {
+		pkg, info, errs := l.check(pkgPath, primary)
+		units = append(units, &Unit{
+			Path: pkgPath, Name: primaryName, Fset: l.Fset,
+			Files: primary, Types: pkg, Info: info, TypeErrors: errs,
+		})
+	}
+	if len(external) > 0 {
+		pkg, info, errs := l.check(pkgPath+"_test", external)
+		units = append(units, &Unit{
+			Path: pkgPath + "_test", Name: external[0].Name.Name, Fset: l.Fset,
+			Files: external, Types: pkg, Info: info, TypeErrors: errs,
+		})
+	}
+	return units, nil
+}
+
+// parseDir parses the .go files in dir accepted by keep, sorted by
+// file name for deterministic diagnostics.
+func (l *Loader) parseDir(dir string, keep func(name string) bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if keep(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks files as one package, collecting (not failing on)
+// type errors so analyzers can run on partial information.
+func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, []error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil && pkg == nil {
+		errs = append(errs, err)
+	}
+	return pkg, info, errs
+}

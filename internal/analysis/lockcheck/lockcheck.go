@@ -1,0 +1,173 @@
+// Package lockcheck enforces the *Locked naming discipline that guards
+// every one-lock batch commit (DESIGN.md §3.3): a function whose name
+// ends in "Locked" asserts "the caller holds the owning mutex", so it
+// may only be called from another *Locked function or from a function
+// that demonstrably acquires a lock in its own body — and it must
+// never itself call Lock on the mutex the suffix refers to (the
+// receiver's "mu" field by repo convention), which would self-deadlock.
+//
+// Audited call sites that hold the lock by construction but cannot
+// show it syntactically (e.g. adapter methods invoked by the engine
+// only under the runtime lock) carry //causalgc:allow-locked-call with
+// a justification.
+package lockcheck
+
+import (
+	"go/ast"
+	"strings"
+
+	"causalgc/internal/analysis"
+)
+
+// Analyzer is the lockcheck instance run by causalgc-vet.
+var Analyzer = New()
+
+// New returns the lockcheck analyzer. It is purely syntactic: the
+// conventions it checks are naming conventions.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "lockcheck",
+		Doc:  "calls to *Locked functions must come from *Locked functions or lock-acquiring bodies; *Locked functions must not lock their own mutex",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one top-level function, tracking whether any
+// enclosing scope is entitled to call *Locked functions.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	locked := strings.HasSuffix(fd.Name.Name, "Locked")
+	qualified := locked || acquiresLock(fd.Body)
+	if locked {
+		checkSelfDeadlock(pass, fd)
+	}
+	walkCalls(pass, fd.Body, fd.Name.Name, qualified)
+}
+
+// walkCalls reports calls to *Locked callees from unqualified scopes.
+// Function literals re-evaluate qualification on their own body but
+// inherit it from enclosing scopes: a closure created under the lock
+// is treated as running under it, which matches how the runtime's
+// commit windows use closures.
+func walkCalls(pass *analysis.Pass, body ast.Node, funcName string, qualified bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			walkCalls(pass, n.Body, funcName, qualified || acquiresLock(n.Body))
+			return false
+		case *ast.CallExpr:
+			name := calleeName(n)
+			if name == "" || !strings.HasSuffix(name, "Locked") {
+				return true
+			}
+			if qualified || pass.Allowed(n.Pos(), "locked-call") {
+				return true
+			}
+			pass.Reportf(n.Pos(), "call to %s from %s, which neither ends in Locked nor acquires a lock in its body (annotate audited sites with //causalgc:allow-locked-call)", name, funcName)
+		}
+		return true
+	})
+}
+
+// checkSelfDeadlock flags <recv>.mu.Lock()/RLock() (or Lock on the
+// receiver itself, for embedded mutexes) inside a *Locked method: the
+// suffix promises that lock is already held.
+func checkSelfDeadlock(pass *analysis.Pass, fd *ast.FuncDecl) {
+	recv := receiverName(fd)
+	if recv == "" {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A closure may run after the locked section returns;
+			// locking there is the closure's business.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" && sel.Sel.Name != "TryLock") {
+			return true
+		}
+		if !isOwnMutex(sel.X, recv) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s calls %s on the mutex its Locked suffix says is already held (self-deadlock)", fd.Name.Name, sel.Sel.Name)
+		return true
+	})
+}
+
+// isOwnMutex reports whether expr is the receiver's guarding mutex:
+// the receiver itself (embedded mutex) or its conventional "mu" field.
+// Locking a different field is allowed — the Locked suffix only speaks
+// for the owning mutex.
+func isOwnMutex(expr ast.Expr, recv string) bool {
+	switch x := expr.(type) {
+	case *ast.Ident:
+		return x.Name == recv
+	case *ast.SelectorExpr:
+		root, ok := x.X.(*ast.Ident)
+		return ok && root.Name == recv && x.Sel.Name == "mu"
+	}
+	return false
+}
+
+// acquiresLock reports whether body (excluding nested function
+// literals) contains a call to a Lock/RLock/TryLock method.
+func acquiresLock(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Lock", "RLock", "TryLock":
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeName extracts the called function's bare name, looking through
+// selector chains and conversions like (*Runtime)(s).emitLocked(...).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// receiverName returns the name of fd's receiver variable, if any.
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}

@@ -1,0 +1,14 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"causalgc/internal/analysis/analysistest"
+	"causalgc/internal/analysis/lockcheck"
+)
+
+// TestLockCheck proves every lockcheck rule fires on its seeded
+// violation and stays quiet on the compliant and directive forms.
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lockcheck.New(), "lockpkg")
+}

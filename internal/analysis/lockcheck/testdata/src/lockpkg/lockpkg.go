@@ -1,0 +1,90 @@
+// Package lockpkg seeds lockcheck violations and compliant forms.
+package lockpkg
+
+import "sync"
+
+type node struct {
+	mu    sync.Mutex
+	stats sync.Mutex
+	n     int
+}
+
+// commitLocked requires n.mu held.
+func (n *node) commitLocked() { n.n++ }
+
+// Commit is compliant: it acquires the lock in its own body.
+func (n *node) Commit() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.commitLocked()
+}
+
+// flushLocked is compliant: a *Locked function may call another.
+func (n *node) flushLocked() { n.commitLocked() }
+
+// Sneaky neither ends in Locked nor takes the lock.
+func (n *node) Sneaky() {
+	n.commitLocked() // want "call to commitLocked from Sneaky"
+}
+
+// Audited is exempt: the directive marks an audited call site.
+func (n *node) Audited() {
+	n.commitLocked() //causalgc:allow-locked-call engine invokes this only under the node lock
+}
+
+// AuditedAbove is exempt via the comment-above directive form.
+func (n *node) AuditedAbove() {
+	//causalgc:allow-locked-call engine invokes this only under the node lock
+	n.commitLocked()
+}
+
+// deadLocked re-acquires the mutex its own suffix says is held.
+func (n *node) deadLocked() {
+	n.mu.Lock() // want "deadLocked calls Lock on the mutex its Locked suffix says is already held"
+	n.commitLocked()
+}
+
+// statsLocked locks a different mutex than the one its suffix speaks
+// for; that is allowed.
+func (n *node) statsLocked() {
+	n.stats.Lock()
+	n.commitLocked()
+	n.stats.Unlock()
+}
+
+// Spawn is compliant: the closure acquires the lock before calling in.
+func (n *node) Spawn() {
+	go func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.commitLocked()
+	}()
+}
+
+// SpawnRogue leaks a *Locked call into a closure that never locks.
+func (n *node) SpawnRogue() {
+	go func() {
+		n.commitLocked() // want "call to commitLocked from SpawnRogue"
+	}()
+}
+
+type embedded struct {
+	sync.Mutex
+	v int
+}
+
+// bumpLocked requires the embedded mutex held.
+func (e *embedded) bumpLocked() { e.v++ }
+
+// badLocked locks the embedded mutex inside a *Locked method.
+func (e *embedded) badLocked() {
+	e.Lock() // want "badLocked calls Lock on the mutex"
+	e.bumpLocked()
+}
+
+// Bump is compliant with an embedded mutex.
+func (e *embedded) Bump() {
+	e.Lock()
+	defer e.Unlock()
+	e.bumpLocked()
+}

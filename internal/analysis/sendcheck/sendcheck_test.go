@@ -1,0 +1,19 @@
+package sendcheck_test
+
+import (
+	"testing"
+
+	"causalgc/internal/analysis/analysistest"
+	"causalgc/internal/analysis/sendcheck"
+)
+
+// TestSendCheck proves the funnel rule fires on direct sends (plain
+// and closure-wrapped), spares the funnel functions and the directive
+// form, and ignores packages outside its scope.
+func TestSendCheck(t *testing.T) {
+	a := sendcheck.New(sendcheck.Config{
+		Packages: []string{"sendpkg"},
+		AllowIn:  []string{"emitLocked", "flushCoalesceLocked"},
+	})
+	analysistest.Run(t, "testdata", a, "sendpkg", "freepkg")
+}

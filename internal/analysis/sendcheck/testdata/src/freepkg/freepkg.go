@@ -1,0 +1,11 @@
+// Package freepkg is outside the sendcheck scope: direct sends here
+// are not diagnosed.
+package freepkg
+
+type network struct{}
+
+func (network) Send(from, to int, p interface{}) {}
+
+func anywhere(n network, p interface{}) {
+	n.Send(0, 1, p)
+}

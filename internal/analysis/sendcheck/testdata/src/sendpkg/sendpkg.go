@@ -1,0 +1,49 @@
+// Package sendpkg seeds sendcheck violations and compliant forms.
+package sendpkg
+
+type network struct{}
+
+func (network) Send(from, to int, p interface{}) {}
+
+type runtime struct {
+	net      network
+	coalesce []interface{}
+}
+
+// emitLocked is the sanctioned funnel: direct sends are allowed here.
+func (r *runtime) emitLocked(to int, p interface{}) {
+	r.net.Send(0, to, p)
+}
+
+// flushCoalesceLocked is the funnel's flush path.
+func (r *runtime) flushCoalesceLocked() {
+	for _, p := range r.coalesce {
+		r.net.Send(0, 1, p)
+	}
+	r.coalesce = nil
+}
+
+// rogue ships a frame around the coalescer.
+func (r *runtime) rogue(p interface{}) {
+	r.net.Send(0, 2, p) // want "direct r.net.Send in rogue bypasses the emitLocked coalescer"
+}
+
+// rogueClosure hides the bypass inside a closure; it is attributed to
+// the enclosing declaration.
+func (r *runtime) rogueClosure(p interface{}) {
+	fn := func() {
+		r.net.Send(0, 2, p) // want "direct r.net.Send in rogueClosure bypasses the emitLocked coalescer"
+	}
+	fn()
+}
+
+// audited is exempt: the directive marks an audited direct send.
+func (r *runtime) audited(p interface{}) {
+	r.net.Send(0, 2, p) //causalgc:allow-direct-send handshake preamble, carries no protocol frame
+}
+
+// viaFunnel is compliant: it routes through the coalescer.
+func (r *runtime) viaFunnel(p interface{}) {
+	r.coalesce = append(r.coalesce, p)
+	r.flushCoalesceLocked()
+}

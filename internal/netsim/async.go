@@ -179,14 +179,21 @@ func (n *AsyncNetwork) Quiesce() {
 // went idle. It is the bounded form of Quiesce, satisfying the public
 // transport.Drainer capability.
 func (n *AsyncNetwork) Drain(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for !n.idle() {
-		if time.Now().After(deadline) {
+	// The bound is a polling budget, not a wall-clock deadline: the
+	// loop gives up after sleeping for timeout in total, so no clock
+	// read is needed (determcheck forbids them in this package) and
+	// the budget is immune to clock steps. Under scheduler pressure
+	// the sleeps oversleep, which only ever lengthens the grace.
+	const poll = 50 * time.Microsecond
+	for waited := time.Duration(0); ; waited += poll {
+		if n.idle() {
+			return true
+		}
+		if waited >= timeout {
 			return false
 		}
-		time.Sleep(50 * time.Microsecond)
+		time.Sleep(poll)
 	}
-	return true
 }
 
 func (n *AsyncNetwork) idle() bool {

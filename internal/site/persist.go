@@ -212,10 +212,19 @@ func Recover(id ids.SiteID, net netsim.Network, opts Options, j *Persist) (*Runt
 		r.handle(d.from, d.p)
 	}
 	// Re-send the unconfirmed mutator frames: at-least-once delivery,
-	// deduplicated at the receivers.
+	// deduplicated at the receivers. Routed through the emitLocked
+	// coalescer (the only sanctioned send path — sendcheck enforces
+	// this) inside one coalescing window, so the recovery burst ships
+	// as one envelope per peer instead of a frame per row.
+	r.mu.Lock()
+	opened := r.beginCoalesceLocked()
 	for _, f := range resend {
-		net.Send(id, f.to, f.p)
+		r.emitLocked(f.to, f.p)
 	}
+	if opened {
+		r.flushCoalesceLocked()
+	}
+	r.mu.Unlock()
 	// One refresh re-propagates the recovered GGD state so detection
 	// resumes without waiting for new mutator activity.
 	if err := r.Refresh(); err != nil {

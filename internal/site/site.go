@@ -220,35 +220,41 @@ var _ heap.Hooks = (*hooks)(nil)
 // sender adapts Runtime to core.Sender: it assigns retirement-stream
 // sequences (per destination site and stream) and stamps them onto the
 // wire frames, so receivers can acknowledge cumulatively.
+//
+// The engine only runs inside Runtime methods that hold r.mu, so every
+// callback below executes under the lock by construction; the
+// interface fixes the method names, so the *Locked suffix cannot carry
+// that fact and the calls are annotated as audited lockcheck
+// exceptions instead.
 type sender Runtime
 
 func (s *sender) SendDestroy(from, to ids.ClusterID, m core.DestroyMsg, seq uint64) uint64 {
 	r := (*Runtime)(s)
-	seq = r.assignSeqLocked(to.Site, core.StreamDestroy, seq)
-	r.emitLocked(to.Site, wire.Destroy{From: from, To: to, M: m, Seq: seq})
+	seq = r.assignSeqLocked(to.Site, core.StreamDestroy, seq)               //causalgc:allow-locked-call engine callbacks run under r.mu
+	r.emitLocked(to.Site, wire.Destroy{From: from, To: to, M: m, Seq: seq}) //causalgc:allow-locked-call engine callbacks run under r.mu
 	return seq
 }
 
 func (s *sender) SendLegacy(from, to ids.ClusterID, m core.DestroyMsg, seq uint64) uint64 {
 	r := (*Runtime)(s)
-	seq = r.assignSeqLocked(to.Site, core.StreamLegacy, seq)
-	r.emitLocked(to.Site, wire.Destroy{From: from, To: to, M: m, Seq: seq, Legacy: true})
+	seq = r.assignSeqLocked(to.Site, core.StreamLegacy, seq)                              //causalgc:allow-locked-call engine callbacks run under r.mu
+	r.emitLocked(to.Site, wire.Destroy{From: from, To: to, M: m, Seq: seq, Legacy: true}) //causalgc:allow-locked-call engine callbacks run under r.mu
 	return seq
 }
 
 func (s *sender) SendAssert(from, to ids.ClusterID, m core.AssertMsg, seq uint64) uint64 {
 	r := (*Runtime)(s)
-	seq = r.assignSeqLocked(to.Site, core.StreamAssert, seq)
-	r.emitLocked(to.Site, wire.Assert{From: from, To: to, M: m, Seq: seq})
+	seq = r.assignSeqLocked(to.Site, core.StreamAssert, seq)               //causalgc:allow-locked-call engine callbacks run under r.mu
+	r.emitLocked(to.Site, wire.Assert{From: from, To: to, M: m, Seq: seq}) //causalgc:allow-locked-call engine callbacks run under r.mu
 	return seq
 }
 
 func (s *sender) SendPropagate(from, to ids.ClusterID, m core.Propagation) {
-	(*Runtime)(s).emitLocked(to.Site, wire.Propagate{From: from, To: to, M: m})
+	(*Runtime)(s).emitLocked(to.Site, wire.Propagate{From: from, To: to, M: m}) //causalgc:allow-locked-call engine callbacks run under r.mu
 }
 
 func (s *sender) SettleFrame(peer ids.SiteID, stream core.Stream, seq uint64) {
-	(*Runtime)(s).markRecvLocked(peer, stream, seq)
+	(*Runtime)(s).markRecvLocked(peer, stream, seq) //causalgc:allow-locked-call engine callbacks run under r.mu
 }
 
 var _ core.Sender = (*sender)(nil)
