@@ -96,7 +96,7 @@ const (
 // system must be passed, and the system should be quiescent for a
 // meaningful liveness verdict.
 func Check(nodes ...*Node) Report {
-	rts := make([]*site.Runtime, len(nodes))
+	rts := make([]oracle.Site, len(nodes))
 	for i, n := range nodes {
 		rts[i] = n.rt
 	}

@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"causalgc"
+)
+
+// ParallelPoint is one stripe width of the parallel-commit scaling
+// measurement (BENCH_parallel.json).
+type ParallelPoint struct {
+	// Shards is the lock-stripe width of the node (WithShards).
+	Shards int `json:"shards"`
+	// OpsPerSec is the aggregate mutator commit throughput of all
+	// workers.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Speedup is OpsPerSec relative to the 1-shard point.
+	Speedup float64 `json:"speedup"`
+}
+
+// ParallelReport is the JSON document emitted as BENCH_parallel.json:
+// the multi-core scaling point of the performance trajectory.
+type ParallelReport struct {
+	// Benchmark names the measurement for trajectory tooling.
+	Benchmark string `json:"benchmark"`
+	// Cores is runtime.NumCPU() on the measuring machine; the scaling
+	// floor is only meaningful when it covers the largest stripe width.
+	Cores int `json:"cores"`
+	// Workers is the number of concurrent mutator goroutines (identical
+	// for every point, so the comparison isolates the striping).
+	Workers int `json:"workers"`
+	// Points are the measured stripe widths, ascending.
+	Points []ParallelPoint `json:"points"`
+}
+
+// parallelThroughput drives `workers` goroutines against one node for
+// at least minDur. Each worker anchors its own cluster — round-robin
+// placement spreads the anchors across the node's shards — and extends
+// a chain inside it, so every op is a commit on the worker's own shard
+// and the only cross-shard state is the identity mint.
+func parallelThroughput(n *causalgc.Node, workers int, minDur time.Duration) (float64, error) {
+	root := n.Root().Obj
+	var (
+		ops  atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		ferr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if ferr == nil {
+			ferr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			anchor, err := n.NewLocal(root)
+			if err != nil {
+				fail(err)
+				return
+			}
+			cur := anchor.Obj
+			local := int64(0)
+			for !stop.Load() {
+				ref, err := n.NewLocalIn(cur, anchor.Cluster)
+				if err != nil {
+					fail(err)
+					return
+				}
+				cur = ref.Obj
+				if local++; local%256 == 0 && time.Since(start) >= minDur {
+					break
+				}
+			}
+			ops.Add(local)
+		}()
+	}
+	wg.Wait()
+	if ferr != nil {
+		return 0, ferr
+	}
+	return float64(ops.Load()) / time.Since(start).Seconds(), nil
+}
+
+// ParallelBench measures parallel mutator commit throughput at stripe
+// widths 1, 4 and 8 (in-memory nodes — BenchmarkWALAppend prices the
+// journal separately) and writes the JSON report to path ("-" or ""
+// writes to w only). On a machine with at least 8 cores it reports
+// success iff the 8-shard throughput reaches `floor` times the 1-shard
+// throughput; on smaller machines the floor is informational only (a
+// stripe cannot scale past the core count).
+func ParallelBench(w io.Writer, path string, floor float64) bool {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	rep := ParallelReport{Benchmark: "parallel-commit", Cores: runtime.NumCPU(), Workers: workers}
+	ok := true
+	base := 0.0
+	for _, shards := range []int{1, 4, 8} {
+		n := causalgc.NewNode(1, causalgc.WithShards(shards))
+		tput, err := parallelThroughput(n, workers, 500*time.Millisecond)
+		n.Close()
+		if err != nil {
+			fmt.Fprintf(w, "parallel bench (shards=%d): %v\n", shards, err)
+			return false
+		}
+		point := ParallelPoint{Shards: shards, OpsPerSec: tput}
+		if shards == 1 {
+			base = tput
+		}
+		if base > 0 {
+			point.Speedup = tput / base
+		}
+		rep.Points = append(rep.Points, point)
+		fmt.Fprintf(w, "parallel-commit shards=%d workers=%d: %.0f ops/sec (%.2fx)\n",
+			shards, workers, point.OpsPerSec, point.Speedup)
+	}
+	last := rep.Points[len(rep.Points)-1]
+	if rep.Cores >= last.Shards && floor > 0 && last.Speedup < floor {
+		fmt.Fprintf(w, "FAIL: %d-shard speedup %.2fx < %.1fx on a %d-core machine\n",
+			last.Shards, last.Speedup, floor, rep.Cores)
+		ok = false
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(w, "parallel bench: %v\n", err)
+		return false
+	}
+	data = append(data, '\n')
+	if path != "" && path != "-" {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintf(w, "parallel bench: %v\n", err)
+			return false
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	} else {
+		w.Write(data)
+	}
+	return ok
+}

@@ -10,5 +10,5 @@ import (
 // TestLockCheck proves every lockcheck rule fires on its seeded
 // violation and stays quiet on the compliant and directive forms.
 func TestLockCheck(t *testing.T) {
-	analysistest.Run(t, "testdata", lockcheck.New(), "lockpkg")
+	analysistest.Run(t, "testdata", lockcheck.New(), "lockpkg", "shardpkg")
 }

@@ -1,0 +1,126 @@
+// Package shardpkg seeds *ShardLocked violations and compliant forms
+// for the per-shard mutex convention.
+package shardpkg
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type engine struct {
+	mu     sync.Mutex
+	shards []*shard
+}
+
+// commitShardLocked requires the owning shard's mu held.
+func (s *shard) commitShardLocked() { s.n++ }
+
+// Commit is compliant: it takes the owning lock in its own body.
+func (s *shard) Commit() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commitShardLocked()
+}
+
+// flushShardLocked is compliant: same receiver, so the Locked suffix
+// already promises the owning mutex.
+func (s *shard) flushShardLocked() { s.commitShardLocked() }
+
+// applyLocked is compliant: a plain *Locked method on the shard itself
+// also speaks for the owning mutex.
+func (s *shard) applyLocked() { s.commitShardLocked() }
+
+// CommitAll is compliant: each shard's lock is taken before its body
+// runs and dropped before the next shard is entered.
+func (e *engine) CommitAll() {
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.commitShardLocked()
+		s.mu.Unlock()
+	}
+}
+
+// Sequential is compliant: the first shard's lock is released before
+// the second shard is entered.
+func (e *engine) Sequential(a, b *shard) {
+	a.mu.Lock()
+	a.commitShardLocked()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.commitShardLocked()
+	b.mu.Unlock()
+}
+
+// WrongLock holds a lock — so the base rule is satisfied — but not the
+// owning shard's, and enters the shard while still holding it.
+func (e *engine) WrongLock(s *shard) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s.commitShardLocked() // want "without holding s.mu" "while holding e.mu"
+}
+
+// Handoff enters shard b while still holding shard a's lock.
+func (e *engine) Handoff(a, b *shard) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.commitShardLocked() // want "while holding a.mu"
+}
+
+// Rogue neither ends in Locked nor takes any lock.
+func (e *engine) Rogue(s *shard) {
+	s.commitShardLocked() // want "which neither ends in Locked" "without holding s.mu"
+}
+
+// pokeShardLocked reaches into a sibling under its own lock.
+func (s *shard) pokeShardLocked(other *shard) {
+	other.commitShardLocked() // want "without holding other.mu" "while holding s.mu"
+}
+
+// mergeShardLocked grabs a sibling's lock while its suffix says the
+// owning shard's lock is already held — the deadlock-order violation.
+func (s *shard) mergeShardLocked(other *shard) {
+	other.mu.Lock() // want "mergeShardLocked acquires other.mu"
+	other.n += s.n
+	other.mu.Unlock()
+}
+
+// drainAllLocked is the audited stop-the-world composer: the AllLocked
+// suffix promises every shard's lock is held.
+func (e *engine) drainAllLocked() {
+	for _, s := range e.shards {
+		s.commitShardLocked()
+	}
+}
+
+// Audited is exempt via the directive.
+func (e *engine) Audited(s *shard) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s.commitShardLocked() //causalgc:allow-shard-locked-call dispatch map pins s before publication
+}
+
+// Spawn is compliant: the closure is created under the owning lock and
+// inherits it.
+func (s *shard) Spawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	func() { s.commitShardLocked() }()
+}
+
+// SpawnRogue creates the closure before taking any lock.
+func (s *shard) SpawnRogue() {
+	go func() {
+		s.commitShardLocked() // want "which neither ends in Locked" "without holding s.mu"
+	}()
+}
+
+// ByIndex is compliant: index expressions name the owner too.
+func (e *engine) ByIndex(i int) {
+	e.shards[i].mu.Lock()
+	e.shards[i].commitShardLocked()
+	e.shards[i].mu.Unlock()
+}

@@ -151,6 +151,12 @@ type Options struct {
 	// RemoveObserver, when non-nil, is called with the process's final log
 	// just before removal (diagnostics and the trace tooling).
 	RemoveObserver func(id ids.ClusterID, log *vclock.Log, clock uint64)
+	// Owns, when non-nil, narrows this engine's notion of "local": a
+	// cluster is handled in-engine only when Owns reports true, and
+	// every other cluster — including same-site clusters owned by a
+	// sibling shard — is reached through the Sender like a remote peer
+	// (DESIGN.md §3.4). Nil means site equality (the unsharded engine).
+	Owns func(ids.ClusterID) bool
 }
 
 // Engine is one site's GGD runtime. It is not safe for concurrent use;
@@ -286,6 +292,16 @@ func New(site ids.SiteID, send Sender, onRemove func(ids.ClusterID), opts Option
 // Stats returns a copy of the activity counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// owns reports whether cl is handled by this engine instance (as
+// opposed to a peer engine reached through the Sender — a remote site,
+// or a sibling shard of the same site).
+func (e *Engine) owns(cl ids.ClusterID) bool {
+	if e.opts.Owns != nil {
+		return e.opts.Owns(cl)
+	}
+	return cl.Site == e.site
+}
+
 // Retained reports the sizes of the engine's retained-state tables: the
 // depth gauges a monitor watches to confirm the metadata stays bounded
 // (the paper's §4 scalability argument made operational). DestroyRows
@@ -420,7 +436,7 @@ func (e *Engine) EdgeUp(holder, target ids.ClusterID, first bool, intro ids.Clus
 	// The edge re-formed: any earlier Ē bundle is superseded by the fresh
 	// live stamp, so its retirement tracking is moot.
 	delete(e.destroys, edgeKey{holder, target})
-	if target.Site == e.site {
+	if e.owns(target) {
 		if t, tok := e.procs[target]; tok {
 			t.log.Own().MergeEntry(holder, stamp)
 			if intro.Valid() && introSeq > 0 && introSeq != ids.CreationSeq {
@@ -566,7 +582,7 @@ func (e *Engine) SentRef(holder, target, dest ids.ClusterID) uint64 {
 		}
 		return seq
 	}
-	if target.Site == e.site {
+	if e.owns(target) {
 		// Local target: arm its hint directly (same site, atomic).
 		if e.opts.UnsafeNoHints {
 			return seq
@@ -607,7 +623,7 @@ func (e *Engine) EdgeDown(holder, target ids.ClusterID) {
 	p.clock++
 	p.acq.Remove(target)
 	e.retireAsserts(holder, target)
-	if target.Site == e.site {
+	if e.owns(target) {
 		// Local destruction: deliver a minimal destroy so the receive path
 		// merges, evaluates and propagates uniformly. Hints and processed
 		// records were already written directly at forward/acquire time.
@@ -835,7 +851,7 @@ func (e *Engine) Drain() {
 // sender's stream, and reports whether it did. Local and untracked
 // deliveries settle nothing.
 func (e *Engine) settle(d delivery) bool {
-	if d.seq == 0 || d.stream == 0 || d.from.Site == e.site {
+	if d.seq == 0 || d.stream == 0 || e.owns(d.from) {
 		return false
 	}
 	e.send.SettleFrame(d.from.Site, d.stream, d.seq)
@@ -846,7 +862,7 @@ func (e *Engine) settle(d delivery) bool {
 func (e *Engine) receive(d delivery) {
 	p, ok := e.procs[d.to]
 	if !ok {
-		if _, dead := e.tombstone[d.to]; !dead && d.to.Site == e.site {
+		if _, dead := e.tombstone[d.to]; !dead && e.owns(d.to) {
 			// The target's creation message has not arrived yet
 			// (reordered channels): buffer and replay on Register.
 			if len(e.pending[d.to]) < 64 {
@@ -998,12 +1014,12 @@ func (e *Engine) receive(d delivery) {
 // sole-carrier asserts and settled frames, the new one is dropped —
 // the bound is the bound.
 func (e *Engine) admitExpiry(d delivery) bool {
-	if d.kind != deliverAssert || d.from.Site != e.site {
+	if d.kind != deliverAssert || !e.owns(d.from) {
 		return false
 	}
 	q := e.pending[d.to]
 	for i, old := range q {
-		if old.settled || (old.kind == deliverAssert && old.from.Site == e.site) {
+		if old.settled || (old.kind == deliverAssert && e.owns(old.from)) {
 			continue
 		}
 		copy(q[i:], q[i+1:])
@@ -1034,7 +1050,7 @@ func (e *Engine) ResolveIntroduction(holder, target, intro ids.ClusterID, seq ui
 	if e.opts.UnsafeNoHints || seq == 0 || seq == ids.CreationSeq || !intro.Valid() {
 		return
 	}
-	if target.Site == e.site {
+	if e.owns(target) {
 		if t, ok := e.procs[target]; ok {
 			if t.log.Hints().Expire(holder, intro, seq) {
 				e.stats.HintsExpired++
@@ -1134,7 +1150,7 @@ func (e *Engine) propagate(p *process, res vclock.ClosureResult) {
 	m := e.assemble(p, res)
 	for _, k := range acq {
 		e.stats.PropagationsSent++
-		if k.Site == e.site {
+		if e.owns(k) {
 			e.inbox = append(e.inbox, delivery{to: k, from: p.id, kind: deliverPropagate, prop: cloneProp(m)})
 		} else {
 			e.send.SendPropagate(p.id, k, cloneProp(m))
@@ -1174,7 +1190,7 @@ func (e *Engine) remove(p *process) {
 	for _, k := range p.acq.Sorted() {
 		p.clock++
 		e.retireAsserts(p.id, k)
-		if k.Site == e.site {
+		if e.owns(k) {
 			e.queueLocalDestroy(p.id, k, DestroyMsg{
 				Auth: vclock.Vector{p.id: vclock.Eps(p.clock)},
 			})
@@ -1299,7 +1315,7 @@ func (e *Engine) Refresh() {
 				Hints:     ob.Hints.Clone(),
 				Processed: ob.Processed.Clone(),
 			}
-			if k.Site == e.site {
+			if e.owns(k) {
 				e.queueLocalDestroy(p.id, k, m)
 				continue
 			}

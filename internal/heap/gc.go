@@ -83,6 +83,9 @@ func (h *Heap) Collect() CollectStats {
 		delete(c.objects, o.id)
 		delete(c.entries, o.id)
 		delete(h.objects, o.id)
+		if h.track != nil {
+			h.track(o.id, false)
+		}
 		// Shells of GGD-removed clusters are dropped once empty; live
 		// cluster shells persist (their identity is still a GGD vertex).
 		if c.removed && len(c.objects) == 0 {

@@ -21,9 +21,49 @@ package heap
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"causalgc/internal/ids"
 )
+
+// Counters is a site's identity mint: the object and cluster sequence
+// counters every heap of the site draws from. An unsharded site owns a
+// private instance; the shards of a sharded site share one, so the
+// identities a sharded run mints are exactly those the 1-shard run
+// would (DESIGN.md §3.4). Atomic, because shards mint concurrently.
+type Counters struct {
+	obj atomic.Uint64
+	clu atomic.Uint64
+}
+
+// NewCounters returns a zeroed identity mint.
+func NewCounters() *Counters { return &Counters{} }
+
+// MintObj draws the next object sequence. Exported so the sharded
+// runtime can pre-mint at stage time and journal the drawn value.
+func (c *Counters) MintObj() uint64 { return c.obj.Add(1) }
+
+// MintClu draws the next cluster sequence.
+func (c *Counters) MintClu() uint64 { return c.clu.Add(1) }
+
+// ObserveObj raises the object counter to at least seq (replay and
+// snapshot restore: recorded mints must never be re-drawn).
+func (c *Counters) ObserveObj(seq uint64) { observeMax(&c.obj, seq) }
+
+// ObserveClu raises the cluster counter to at least seq.
+func (c *Counters) ObserveClu(seq uint64) { observeMax(&c.clu, seq) }
+
+// Snapshot reads both counters.
+func (c *Counters) Snapshot() (obj, clu uint64) { return c.obj.Load(), c.clu.Load() }
+
+func observeMax(a *atomic.Uint64, seq uint64) {
+	for {
+		cur := a.Load()
+		if seq <= cur || a.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
 
 // Ref names a reference target: the object and the cluster it belongs to.
 // Remote references carry the cluster so the holder's site can do edge
@@ -123,36 +163,56 @@ type edge struct {
 	from, to ids.ClusterID
 }
 
-// Heap is one site's portion of the distributed object graph.
+// Heap is one site's portion of the distributed object graph — or, on
+// a sharded site, one shard's partition of it.
 type Heap struct {
 	site     ids.SiteID
 	hooks    Hooks
+	ctr      *Counters
+	track    func(ids.ObjectID, bool)
 	objects  map[ids.ObjectID]*Object
 	clusters map[ids.ClusterID]*cluster
 	edges    map[edge]int
-	rootClu  ids.ClusterID
+	rootClu  ids.ClusterID // zero on rootless shard heaps
 	rootObj  ids.ObjectID
-	nextObj  uint64
-	nextClu  uint64
 }
 
 // New creates the heap for a site, including its root cluster and root
 // object (the site's local root set, Fig 1). hooks must not be nil.
 func New(site ids.SiteID, hooks Hooks) *Heap {
+	return NewShard(site, hooks, NewCounters(), true)
+}
+
+// NewShard creates a heap drawing identities from a shared mint.
+// withRoot=false builds a rootless partition: only shard 0 of a
+// sharded site owns the local root set; the other shards hold clusters
+// whose roots are entry tables alone.
+func NewShard(site ids.SiteID, hooks Hooks, ctr *Counters, withRoot bool) *Heap {
 	h := &Heap{
 		site:     site,
 		hooks:    hooks,
+		ctr:      ctr,
 		objects:  make(map[ids.ObjectID]*Object),
 		clusters: make(map[ids.ClusterID]*cluster),
 		edges:    make(map[edge]int),
 	}
-	h.nextClu++
-	h.rootClu = ids.ClusterID{Site: site, Seq: h.nextClu, Root: true}
-	h.addCluster(h.rootClu)
-	root := h.allocate(h.rootClu)
-	h.rootObj = root.id
+	if withRoot {
+		h.rootClu = ids.ClusterID{Site: site, Seq: h.ctr.MintClu(), Root: true}
+		h.addCluster(h.rootClu)
+		root := h.allocate(h.rootClu)
+		h.rootObj = root.id
+	}
 	return h
 }
+
+// Counters returns the identity mint this heap draws from.
+func (h *Heap) Counters() *Counters { return h.ctr }
+
+// SetObjectTracker registers fn, called with (id, true) when an object
+// materialises in this heap and (id, false) when the sweep reclaims
+// it. The sharded runtime uses it to maintain the object→shard routing
+// table; nil (the default) disables tracking.
+func (h *Heap) SetObjectTracker(fn func(ids.ObjectID, bool)) { h.track = fn }
 
 // Site returns the heap's site.
 func (h *Heap) Site() ids.SiteID { return h.site }
@@ -182,20 +242,21 @@ func (h *Heap) allocate(cl ids.ClusterID) *Object {
 	if !ok {
 		c = h.addCluster(cl)
 	}
-	h.nextObj++
 	o := &Object{
-		id:      ids.ObjectID{Site: h.site, Seq: h.nextObj},
+		id:      ids.ObjectID{Site: h.site, Seq: h.ctr.MintObj()},
 		cluster: cl,
 	}
 	h.objects[o.id] = o
 	c.objects[o.id] = o
+	if h.track != nil {
+		h.track(o.id, true)
+	}
 	return o
 }
 
 // NewCluster mints a fresh non-root cluster identifier on this site.
 func (h *Heap) NewCluster() ids.ClusterID {
-	h.nextClu++
-	return ids.ClusterID{Site: h.site, Seq: h.nextClu}
+	return ids.ClusterID{Site: h.site, Seq: h.ctr.MintClu()}
 }
 
 // NewObject allocates an object in the given cluster (minting a new
@@ -230,6 +291,9 @@ func (h *Heap) NewObjectAt(id ids.ObjectID, cl ids.ClusterID) (*Object, error) {
 	o := &Object{id: id, cluster: cl}
 	h.objects[id] = o
 	c.objects[id] = o
+	if h.track != nil {
+		h.track(id, true)
+	}
 	return o, nil
 }
 

@@ -41,14 +41,18 @@ type EdgeImage struct {
 	Count    int
 }
 
-// Export renders the heap as an image sharing no state with it.
+// Export renders the heap as an image sharing no state with it. The
+// counter fields snapshot the (possibly shared) identity mint: every
+// shard of a sharded site exports the same values, and restore
+// max-observes them, so the duplication is harmless.
 func (h *Heap) Export() Image {
+	obj, clu := h.ctr.Snapshot()
 	img := Image{
 		Site:        h.site,
 		RootCluster: h.rootClu,
 		RootObject:  h.rootObj,
-		NextObj:     h.nextObj,
-		NextClu:     h.nextClu,
+		NextObj:     obj,
+		NextClu:     clu,
 	}
 	for _, o := range h.Objects() {
 		img.Objects = append(img.Objects, ObjectImage{ID: o.id, Cluster: o.cluster, Slots: o.Slots()})
@@ -69,19 +73,31 @@ func (h *Heap) Export() Image {
 // the engine state restored alongside it reflects the notifications the
 // live heap issued.
 func Restore(hooks Hooks, img Image) (*Heap, error) {
-	if !img.Site.Valid() || !img.RootCluster.Valid() || !img.RootObject.Valid() {
+	return RestoreShard(hooks, img, NewCounters(), true)
+}
+
+// RestoreShard rebuilds one shard's heap against a shared identity
+// mint. withRoot=false accepts a rootless image (shards 1..N-1 of a
+// sharded site). The image's counter fields are max-observed into ctr,
+// never overwritten: shards restore in any order.
+func RestoreShard(hooks Hooks, img Image, ctr *Counters, withRoot bool) (*Heap, error) {
+	if !img.Site.Valid() {
 		return nil, fmt.Errorf("heap: restore: incomplete image for site %v", img.Site)
 	}
+	if withRoot && (!img.RootCluster.Valid() || !img.RootObject.Valid()) {
+		return nil, fmt.Errorf("heap: restore: incomplete image for site %v", img.Site)
+	}
+	ctr.ObserveObj(img.NextObj)
+	ctr.ObserveClu(img.NextClu)
 	h := &Heap{
 		site:     img.Site,
 		hooks:    hooks,
+		ctr:      ctr,
 		objects:  make(map[ids.ObjectID]*Object, len(img.Objects)),
 		clusters: make(map[ids.ClusterID]*cluster, len(img.Clusters)),
 		edges:    make(map[edge]int, len(img.Edges)),
 		rootClu:  img.RootCluster,
 		rootObj:  img.RootObject,
-		nextObj:  img.NextObj,
-		nextClu:  img.NextClu,
 	}
 	for _, ci := range img.Clusters {
 		c := h.addCluster(ci.ID)
@@ -99,7 +115,7 @@ func Restore(hooks Hooks, img Image) (*Heap, error) {
 		h.objects[o.id] = o
 		c.objects[o.id] = o
 	}
-	if h.objects[h.rootObj] == nil {
+	if withRoot && h.objects[h.rootObj] == nil {
 		return nil, fmt.Errorf("heap: restore: root object %v missing", h.rootObj)
 	}
 	for _, ei := range img.Edges {

@@ -20,10 +20,11 @@ import (
 // deterministic harness; the public causalgc.Cluster implements it for
 // any transport.
 type World interface {
-	// Site returns the runtime of the given site.
-	Site(ids.SiteID) *site.Runtime
-	// Sites returns every runtime, in site order.
-	Sites() []*site.Runtime
+	// Site returns the site instance (a plain runtime or a lock-striped
+	// sharded one) of the given site.
+	Site(ids.SiteID) site.Instance
+	// Sites returns every site instance, in site order.
+	Sites() []site.Instance
 	// Run delivers messages until the substrate is quiet.
 	Run() error
 	// Step delivers at most one message and reports whether it did.

@@ -42,8 +42,15 @@ func (r Report) String() string {
 	return fmt.Sprintf("live=%d garbage=%d dangling=%d", r.Live, len(r.Garbage), len(r.Dangling))
 }
 
+// Site is the view the oracle needs of one site: a consistent dump of
+// its live objects. Both site.Runtime and the lock-striped site.Sharded
+// satisfy it.
+type Site interface {
+	Snapshot() (ids.ObjectID, []site.ObjectSnapshot)
+}
+
 // Check analyses the composite graph of the given sites.
-func Check(sites ...*site.Runtime) Report {
+func Check(sites ...Site) Report {
 	objs := make(map[ids.ObjectID]site.ObjectSnapshot)
 	var roots []ids.ObjectID
 	for _, s := range sites {

@@ -5,14 +5,13 @@ import (
 	"testing"
 
 	"causalgc/internal/netsim"
-	"causalgc/internal/oracle"
 	"causalgc/internal/sim"
 	"causalgc/internal/site"
 )
 
 func TestOracleEmptyWorld(t *testing.T) {
 	w := sim.NewWorld(3, netsim.Faults{Seed: 1}, site.DefaultOptions())
-	rep := oracle.Check(w.Sites()...)
+	rep := w.Check()
 	if rep.Live != 3 { // one root object per site
 		t.Errorf("Live = %d, want 3", rep.Live)
 	}

@@ -188,8 +188,21 @@ func makeBatchPlan(seed int64, sites, rounds int) []batchPlanGroup {
 // mode and returns the final pooled references (for cross-mode
 // comparison) and the world for verdicts.
 func execBatchPlan(t *testing.T, plan []batchPlanGroup, seed int64, sites int, dir string, batched bool) (*World, []heap.Ref) {
+	return execPlanSharded(t, plan, seed, sites, dir, batched, 0)
+}
+
+// execPlanSharded is execBatchPlan over sites striped into the given
+// number of lock shards (0: plain unsharded runtimes).
+func execPlanSharded(t *testing.T, plan []batchPlanGroup, seed int64, sites int, dir string, batched bool, shards int) (*World, []heap.Ref) {
 	t.Helper()
-	w, err := NewDurableWorld(sites, netsim.Faults{Seed: seed, DropProb: 0.15, DupProb: 0.05, Reorder: true}, site.DefaultOptions(), dir, 32)
+	faults := netsim.Faults{Seed: seed, DropProb: 0.15, DupProb: 0.05, Reorder: true}
+	var w *World
+	var err error
+	if shards > 0 {
+		w, err = NewDurableShardedWorld(sites, faults, site.DefaultOptions(), dir, 32, shards)
+	} else {
+		w, err = NewDurableWorld(sites, faults, site.DefaultOptions(), dir, 32)
+	}
 	if err != nil {
 		t.Fatal(err)
 	}

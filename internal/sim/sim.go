@@ -27,8 +27,12 @@ const DefaultSettleRounds = 16
 // World is a complete simulated system.
 type World struct {
 	net   *netsim.Sim
-	sites []*site.Runtime
+	sites []site.Instance
 	opts  site.Options
+
+	// shards is the lock-stripe width of every site (0 = unsharded
+	// runtimes, the default).
+	shards int
 
 	// durable tracks the journals of a durable world (NewDurableWorld);
 	// nil entries mean the site is volatile.
@@ -54,13 +58,41 @@ func NewWorld(n int, faults netsim.Faults, opts site.Options) *World {
 	return w
 }
 
+// NewShardedWorld builds n volatile sites whose engines are striped
+// over the given number of lock shards (shards < 2 degrades to a
+// 1-shard Sharded, still exercising the composition layer).
+func NewShardedWorld(n int, faults netsim.Faults, opts site.Options, shards int) *World {
+	if shards < 1 {
+		shards = 1
+	}
+	w := &World{net: netsim.NewSim(faults), opts: opts, shards: shards}
+	for i := 1; i <= n; i++ {
+		w.sites = append(w.sites, site.NewSharded(ids.SiteID(i), w.net, opts, shards))
+	}
+	return w
+}
+
 // NewDurableWorld builds n durable sites journaling under
 // dir/site-<id>, snapshotting every `every` records. Sites can then be
 // killed and recovered with Crash/Restart — the kill-and-restart fault
 // scenario. Journals run unsynced: an in-process "crash" cannot lose
 // page-cache contents, so fsync would only slow the schedule search.
 func NewDurableWorld(n int, faults netsim.Faults, opts site.Options, dir string, every int) (*World, error) {
-	w := &World{net: netsim.NewSim(faults), opts: opts}
+	return newDurableWorld(n, faults, opts, dir, every, 0)
+}
+
+// NewDurableShardedWorld is NewDurableWorld with every site striped
+// over the given number of lock shards; Crash/Restart recover through
+// the sharded constructor (the shard count is sticky in the journal).
+func NewDurableShardedWorld(n int, faults netsim.Faults, opts site.Options, dir string, every, shards int) (*World, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	return newDurableWorld(n, faults, opts, dir, every, shards)
+}
+
+func newDurableWorld(n int, faults netsim.Faults, opts site.Options, dir string, every, shards int) (*World, error) {
+	w := &World{net: netsim.NewSim(faults), opts: opts, shards: shards}
 	for i := 1; i <= n; i++ {
 		id := ids.SiteID(i)
 		d := &durableSite{dir: filepath.Join(dir, fmt.Sprintf("site-%d", i)), every: every}
@@ -72,7 +104,7 @@ func NewDurableWorld(n int, faults netsim.Faults, opts site.Options, dir string,
 			return nil, err
 		}
 		d.journal = j
-		s, err := site.Recover(id, w.net, opts, j)
+		s, err := w.recoverSite(id, j)
 		if err != nil {
 			return nil, err
 		}
@@ -80,6 +112,15 @@ func NewDurableWorld(n int, faults netsim.Faults, opts site.Options, dir string,
 		w.durable = append(w.durable, d)
 	}
 	return w, nil
+}
+
+// recoverSite builds one durable site through the constructor matching
+// the world's stripe width.
+func (w *World) recoverSite(id ids.SiteID, j *site.Persist) (site.Instance, error) {
+	if w.shards > 0 {
+		return site.RecoverSharded(id, w.net, w.opts, j, w.shards)
+	}
+	return site.Recover(id, w.net, w.opts, j)
 }
 
 // Crash kills a durable site: its journal's files are closed with no
@@ -120,7 +161,7 @@ func (w *World) Restart(id ids.SiteID) error {
 	if err != nil {
 		return err
 	}
-	s, err := site.Recover(id, w.net, w.opts, j)
+	s, err := w.recoverSite(id, j)
 	if err != nil {
 		j.Close()
 		return err
@@ -165,13 +206,13 @@ func (w *World) durableOf(id ids.SiteID) *durableSite {
 	return w.durable[i]
 }
 
-// Site returns the runtime of site id (1-based).
-func (w *World) Site(id ids.SiteID) *site.Runtime {
+// Site returns the site instance of site id (1-based).
+func (w *World) Site(id ids.SiteID) site.Instance {
 	return w.sites[int(id)-1]
 }
 
-// Sites returns all runtimes.
-func (w *World) Sites() []*site.Runtime { return w.sites }
+// Sites returns all site instances.
+func (w *World) Sites() []site.Instance { return w.sites }
 
 // Net exposes the simulator (fault control, stats).
 func (w *World) Net() *netsim.Sim { return w.net }
@@ -244,5 +285,9 @@ func (w *World) TotalObjects() int { return w.totalObjects() }
 
 // Check runs the global oracle.
 func (w *World) Check() oracle.Report {
-	return oracle.Check(w.sites...)
+	views := make([]oracle.Site, len(w.sites))
+	for i, s := range w.sites {
+		views[i] = s
+	}
+	return oracle.Check(views...)
 }

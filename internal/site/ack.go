@@ -2,6 +2,7 @@ package site
 
 import (
 	"sort"
+	"sync"
 
 	"causalgc/internal/core"
 	"causalgc/internal/ids"
@@ -14,6 +15,14 @@ import (
 // sequence counters on the send side, cumulative watermarks on the
 // receive side, FrameAck emission, StreamAdvance floor advisories, and
 // the outbox of unacknowledged mutator frames.
+//
+// The stream state lives in a streams table shared by every shard of a
+// sharded site (DESIGN.md §3.4): a remote peer tracks ONE cumulative
+// watermark per stream from this site, so two shards drawing sequences
+// toward the same peer must draw from the same counter — per-shard
+// counters would collide at the peer and silently retire undelivered
+// frames. An unsharded runtime owns a private table; the code path is
+// identical.
 
 // FrameStats counts the site-level retirement activity: the operator's
 // view of how much re-send state is outstanding, how it drains, and —
@@ -134,16 +143,48 @@ func (t *recvTracker) advance(floor uint64) bool {
 	}
 }
 
-// sendStreamLocked returns (creating if needed) the send-side stream
-// state. Caller holds r.mu.
-func (r *Runtime) sendStreamLocked(peer ids.SiteID, kind core.Stream) *sendStream {
-	k := streamKey{peer: peer, kind: kind}
-	st := r.send[k]
-	if st == nil {
-		st = &sendStream{}
-		r.send[k] = st
+// streams is the shared per-site retirement-stream state: one instance
+// per site, shared by every shard. Its mutex is a leaf in the lock
+// order (shard r.mu → st.mu): nothing is called while holding it, so
+// shards contend only for the few loads/stores below.
+type streams struct {
+	mu sync.Mutex
+	// send and recv are the per-(peer, stream) retirement-stream states:
+	// sequence counters and acknowledged watermarks on the send side,
+	// cumulative settle watermarks on the receive side (DESIGN.md §3.2).
+	send map[streamKey]*sendStream
+	recv map[streamKey]*recvTracker
+	// peerEpoch is the last seen recovery epoch per peer; a change
+	// re-arms the re-send dampers for that peer.
+	peerEpoch map[ids.SiteID]uint64
+	// epoch counts this site's recoveries, piggybacked on FrameAcks.
+	epoch uint64
+	// refreshRound is the damper time base for outbox re-sends.
+	refreshRound uint64
+	// mint numbers identities created by this site on behalf of others.
+	mint uint64
+	// fstats counts the retirement activity.
+	fstats FrameStats
+}
+
+func newStreams() *streams {
+	return &streams{
+		send:      make(map[streamKey]*sendStream),
+		recv:      make(map[streamKey]*recvTracker),
+		peerEpoch: make(map[ids.SiteID]uint64),
 	}
-	return st
+}
+
+// sendStream returns (creating if needed) the send-side stream state.
+// Caller holds st.mu.
+func (st *streams) sendStream(peer ids.SiteID, kind core.Stream) *sendStream {
+	k := streamKey{peer: peer, kind: kind}
+	s := st.send[k]
+	if s == nil {
+		s = &sendStream{}
+		st.send[k] = s
+	}
+	return s
 }
 
 // assignSeqLocked returns seq unchanged when non-zero (a re-send under
@@ -153,9 +194,13 @@ func (r *Runtime) assignSeqLocked(peer ids.SiteID, kind core.Stream, seq uint64)
 	if seq != 0 {
 		return seq
 	}
-	st := r.sendStreamLocked(peer, kind)
-	st.nextSeq++
-	return st.nextSeq
+	st := r.st
+	st.mu.Lock()
+	s := st.sendStream(peer, kind)
+	s.nextSeq++
+	seq = s.nextSeq
+	st.mu.Unlock()
+	return seq
 }
 
 // markRecvLocked records the settlement of one tracked inbound frame
@@ -167,12 +212,15 @@ func (r *Runtime) markRecvLocked(peer ids.SiteID, kind core.Stream, seq uint64) 
 		return
 	}
 	k := streamKey{peer: peer, kind: kind}
-	t := r.recv[k]
+	st := r.st
+	st.mu.Lock()
+	t := st.recv[k]
 	if t == nil {
 		t = &recvTracker{}
-		r.recv[k] = t
+		st.recv[k] = t
 	}
 	t.mark(seq)
+	st.mu.Unlock()
 	if r.dirtyAcks == nil {
 		r.dirtyAcks = make(map[streamKey]struct{})
 	}
@@ -180,7 +228,11 @@ func (r *Runtime) markRecvLocked(peer ids.SiteID, kind core.Stream, seq uint64) 
 }
 
 // flushAcksLocked emits one FrameAck per dirty stream, in deterministic
-// order. Caller holds r.mu.
+// order. The dirty set is per shard — the shard that settled a frame
+// acknowledges it — while the watermarks are shared, so an ack emitted
+// here may also cover settlements a sibling shard just made: harmless,
+// acks are cumulative and receivers ignore stale ones. Caller holds
+// r.mu.
 func (r *Runtime) flushAcksLocked() {
 	if len(r.dirtyAcks) == 0 {
 		return
@@ -191,40 +243,54 @@ func (r *Runtime) flushAcksLocked() {
 	}
 	r.dirtyAcks = nil
 	sort.Slice(keys, func(i, j int) bool { return streamKeyLess(keys[i], keys[j]) })
+	st := r.st
 	for _, k := range keys {
-		t := r.recv[k]
-		if t == nil {
-			continue
+		st.mu.Lock()
+		t := st.recv[k]
+		var ack wire.FrameAck
+		ok := t != nil
+		if ok {
+			st.fstats.AcksSent++
+			ack = wire.FrameAck{Stream: k.kind, Seq: t.watermark, Epoch: st.epoch}
 		}
-		r.fstats.AcksSent++
-		r.emitLocked(k.peer, wire.FrameAck{Stream: k.kind, Seq: t.watermark, Epoch: r.epoch})
+		st.mu.Unlock()
+		if ok {
+			r.emitLocked(k.peer, ack)
+		}
 	}
 }
 
 // handleFrameAckLocked processes a cumulative acknowledgement from
 // peer: epoch changes re-arm the re-send dampers (the peer restarted
-// and may have lost undurable state), and a watermark advance retires
-// the covered retained state exactly. Caller holds r.mu.
+// and may have lost undurable state), and the watermark retires the
+// covered retained state of THIS shard exactly. The shared ackedTo
+// floor only ever rises; retirement itself is idempotent, so on a
+// sharded site the same ack fans out to every shard and each retires
+// its own rows. Caller holds r.mu.
 func (r *Runtime) handleFrameAckLocked(peer ids.SiteID, m wire.FrameAck) {
-	r.fstats.AcksReceived++
-	if last, ok := r.peerEpoch[peer]; !ok || last != m.Epoch {
-		r.peerEpoch[peer] = m.Epoch
-		if ok {
-			// A genuine restart (not first contact): re-arm everything
-			// bound for the peer.
-			r.engine.ResetPeerBackoff(peer)
-			for i := range r.outbox {
-				if r.outbox[i].to == peer {
-					r.outbox[i].bo.Reset()
-				}
+	st := r.st
+	st.mu.Lock()
+	st.fstats.AcksReceived++
+	restart := false
+	if last, ok := st.peerEpoch[peer]; !ok || last != m.Epoch {
+		st.peerEpoch[peer] = m.Epoch
+		// A genuine restart (not first contact): re-arm everything
+		// bound for the peer.
+		restart = ok
+	}
+	s := st.sendStream(peer, m.Stream)
+	if m.Seq > s.ackedTo {
+		s.ackedTo = m.Seq
+	}
+	st.mu.Unlock()
+	if restart {
+		r.engine.ResetPeerBackoff(peer)
+		for i := range r.outbox {
+			if r.outbox[i].to == peer {
+				r.outbox[i].bo.Reset()
 			}
 		}
 	}
-	st := r.sendStreamLocked(peer, m.Stream)
-	if m.Seq <= st.ackedTo {
-		return
-	}
-	st.ackedTo = m.Seq
 	switch m.Stream {
 	case core.StreamMut:
 		r.retireOutboxLocked(peer, m.Seq)
@@ -246,12 +312,15 @@ func (r *Runtime) handleAdvanceLocked(peer ids.SiteID, m wire.StreamAdvance) {
 		return
 	}
 	k := streamKey{peer: peer, kind: m.Stream}
-	t := r.recv[k]
+	st := r.st
+	st.mu.Lock()
+	t := st.recv[k]
 	if t == nil {
 		t = &recvTracker{}
-		r.recv[k] = t
+		st.recv[k] = t
 	}
 	t.advance(m.Floor)
+	st.mu.Unlock()
 	if r.dirtyAcks == nil {
 		r.dirtyAcks = make(map[streamKey]struct{})
 	}
@@ -275,7 +344,9 @@ func (r *Runtime) retireOutboxLocked(peer ids.SiteID, watermark uint64) {
 	}
 	r.outbox = kept
 	if n > 0 {
-		r.fstats.FramesRetired += n
+		r.st.mu.Lock()
+		r.st.fstats.FramesRetired += n
+		r.st.mu.Unlock()
 		if ao, ok := r.opts.Observer.(AckObserver); ok {
 			ao.FrameRetired(r.id, peer, core.StreamMut, n)
 		}
@@ -285,55 +356,91 @@ func (r *Runtime) retireOutboxLocked(peer ids.SiteID, watermark uint64) {
 // resendOutboxLocked re-ships the unacknowledged, damper-due outbox
 // frames during a refresh round. Caller holds r.mu.
 func (r *Runtime) resendOutboxLocked() {
+	r.st.mu.Lock()
+	round := r.st.refreshRound
+	r.st.mu.Unlock()
+	resent, suppressed := 0, 0
 	for i := range r.outbox {
 		f := &r.outbox[i]
-		if !f.bo.Ready(r.refreshRound) {
-			r.fstats.ResendsSuppressed++
+		if !f.bo.Ready(round) {
+			suppressed++
 			continue
 		}
-		r.fstats.OutboxResends++
+		resent++
 		r.emitLocked(f.to, f.p)
-		f.bo.Bump(r.refreshRound, core.EffectiveBackoffCap(r.opts.Engine.ResendBackoffCap))
+		f.bo.Bump(round, core.EffectiveBackoffCap(r.opts.Engine.ResendBackoffCap))
 	}
+	if resent+suppressed > 0 {
+		r.st.mu.Lock()
+		r.st.fstats.OutboxResends += resent
+		r.st.fstats.ResendsSuppressed += suppressed
+		r.st.mu.Unlock()
+	}
+}
+
+// retainedFloorLocked reports the smallest sequence this shard still
+// retains on the (peer, kind) stream, or 0 when it retains nothing
+// there. Caller holds r.mu.
+func (r *Runtime) retainedFloorLocked(peer ids.SiteID, kind core.Stream) uint64 {
+	if kind == core.StreamMut {
+		var floor uint64
+		for _, f := range r.outbox {
+			if f.to == peer && (floor == 0 || f.seq < floor) {
+				floor = f.seq
+			}
+		}
+		return floor
+	}
+	if f, any := r.engine.RetainedFloor(peer, kind); any {
+		return f
+	}
+	return 0
 }
 
 // advanceFloorsLocked emits StreamAdvance advisories for every send
 // stream whose acknowledged watermark trails the smallest sequence the
 // site still retains: the gap below the floor is acknowledged-or-
 // abandoned and would otherwise stall the peer's cumulative watermark
-// forever. Caller holds r.mu.
+// forever. Unsharded path only — one shard's view of "retained" is not
+// the site's, so a sharded site merges per-shard floors in
+// Sharded.Refresh instead (emitting a floor past a sibling shard's
+// retained row would let the peer retire it undelivered). Caller holds
+// r.mu.
 func (r *Runtime) advanceFloorsLocked() {
-	keys := make([]streamKey, 0, len(r.send))
-	for k := range r.send {
+	st := r.st
+	st.mu.Lock()
+	keys := make([]streamKey, 0, len(st.send))
+	for k := range st.send {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return streamKeyLess(keys[i], keys[j]) })
+	type snap struct{ nextSeq, ackedTo uint64 }
+	snaps := make(map[streamKey]snap, len(keys))
 	for _, k := range keys {
-		st := r.send[k]
-		if st.nextSeq == 0 {
+		s := st.send[k]
+		snaps[k] = snap{nextSeq: s.nextSeq, ackedTo: s.ackedTo}
+	}
+	st.mu.Unlock()
+	advances := 0
+	for _, k := range keys {
+		s := snaps[k]
+		if s.nextSeq == 0 {
 			continue
 		}
-		var floor uint64
-		switch k.kind {
-		case core.StreamMut:
-			floor = st.nextSeq + 1
-			for _, f := range r.outbox {
-				if f.to == k.peer && f.seq < floor {
-					floor = f.seq
-				}
-			}
-		default:
-			if f, any := r.engine.RetainedFloor(k.peer, k.kind); any {
-				floor = f
-			} else {
-				floor = st.nextSeq + 1
-			}
+		floor := r.retainedFloorLocked(k.peer, k.kind)
+		if floor == 0 {
+			floor = s.nextSeq + 1
 		}
-		if floor == 0 || floor-1 <= st.ackedTo {
+		if floor-1 <= s.ackedTo {
 			continue
 		}
-		r.fstats.AdvancesSent++
+		advances++
 		r.emitLocked(k.peer, wire.StreamAdvance{Stream: k.kind, Floor: floor})
+	}
+	if advances > 0 {
+		st.mu.Lock()
+		st.fstats.AdvancesSent += advances
+		st.mu.Unlock()
 	}
 }
 
@@ -341,7 +448,9 @@ func (r *Runtime) advanceFloorsLocked() {
 func (r *Runtime) FrameStats() FrameStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	st := r.fstats
+	r.st.mu.Lock()
+	st := r.st.fstats
+	r.st.mu.Unlock()
 	st.OutboxRetained = len(r.outbox)
 	return st
 }

@@ -45,6 +45,7 @@ func (r *Runtime) ApplyBatch(ops []wire.BatchOp) ([]heap.Ref, error) {
 	if err := r.stageBatchLocked(ops); err != nil {
 		return nil, err
 	}
+	ops = r.premintBatchLocked(ops)
 	if err := r.journalBatch(ops); err != nil {
 		return nil, err
 	}
@@ -58,7 +59,7 @@ func (r *Runtime) journalBatch(ops []wire.BatchOp) error {
 	if r.journal == nil || r.replaying {
 		return nil
 	}
-	rec := &wire.WALRecord{Batch: &wire.BatchRecord{Ops: ops}}
+	rec := &wire.WALRecord{Shard: r.shardIndex(), Batch: &wire.BatchRecord{Ops: ops}}
 	if err := r.journal.Append(rec); err != nil {
 		return fmt.Errorf("site %v: journal batch (%d ops): %w", r.id, len(ops), err)
 	}
@@ -92,6 +93,28 @@ func (r *Runtime) applyBatchLocked(ops []wire.BatchOp) ([]heap.Ref, error) {
 		r.flushCoalesceLocked()
 	}
 	return refs, firstErr
+}
+
+// premintBatchLocked pre-mints a staged batch on a sharded site: the
+// drawn identities and placements ride the journaled BatchRecord, so
+// replay reproduces them exactly (see premintLocked). Fresh clusters
+// are pinned to the executing shard for multi-op batches — a deferred
+// reference to a cross-shard creation would name an object the
+// executing shard will never materialise — while singleton batches
+// (every Node one-op commit) keep the full placement policy. The ops
+// slice is copied before mutation: callers own their argument. Caller
+// holds r.mu.
+func (r *Runtime) premintBatchLocked(ops []wire.BatchOp) []wire.BatchOp {
+	if r.sh == nil || r.replaying {
+		return ops
+	}
+	pin := len(ops) > 1
+	minted := make([]wire.BatchOp, len(ops))
+	copy(minted, ops)
+	for i := range minted {
+		r.premintLocked(&minted[i].Op, pin)
+	}
+	return minted
 }
 
 // resolveBatchOp substitutes deferred arguments with the Refs minted by
@@ -365,8 +388,21 @@ func (r *Runtime) stageOpLocked(op wire.OpRecord) error {
 
 // emitLocked routes one outbound frame: buffered into the per-peer
 // coalescer while a commit or envelope-dispatch window is open, sent
-// directly otherwise. Caller holds r.mu.
+// directly otherwise. On a sharded site a frame addressed to the own
+// site is a cross-shard message: it bypasses the coalescer and enters
+// the ordered handoff queue of its destination shard. During replay
+// self-addressed frames are dropped — the receiving shard's journaled
+// delivery records already carry them, and re-routing would apply them
+// twice; a crash between the sender's journal append and the receiver's
+// is healed like any lost frame (outbox re-send, refresh). Caller holds
+// r.mu.
 func (r *Runtime) emitLocked(to ids.SiteID, p netsim.Payload) {
+	if r.sh != nil && to == r.id {
+		if !r.replaying {
+			r.sh.route(p)
+		}
+		return
+	}
 	if r.coalescing {
 		if r.coalesce == nil {
 			r.coalesce = make(map[ids.SiteID][]netsim.Payload)

@@ -3,6 +3,7 @@ package site
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"causalgc/internal/core"
 	"causalgc/internal/heap"
@@ -43,8 +44,12 @@ func (o PersistOptions) withDefaults() PersistOptions {
 
 // Persist is the standard Journal: wire-encoded records over a
 // persist.Store, with a snapshot every SnapshotEvery records. Safe for
-// use by one Runtime (the runtime serialises calls under its mutex).
+// concurrent appenders: the shards of a sharded site share one Persist
+// (one WAL and one snapshot per site), serialised by the internal
+// mutex; an unsharded Runtime additionally serialises under its own
+// mutex, as before.
 type Persist struct {
+	mu       sync.Mutex
 	store    *persist.Store
 	opts     PersistOptions
 	appended int
@@ -95,12 +100,14 @@ func (p *Persist) Load() (*wire.SiteImage, []*wire.WALRecord, error) {
 
 // Append implements Journal.
 func (p *Persist) Append(rec *wire.WALRecord) error {
-	if p.sticky != nil {
-		return p.sticky
-	}
 	data, err := wire.EncodeRecord(rec)
 	if err != nil {
 		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sticky != nil {
+		return p.sticky
 	}
 	if err := p.store.Append(data); err != nil {
 		return err
@@ -112,20 +119,36 @@ func (p *Persist) Append(rec *wire.WALRecord) error {
 // Checkpoint implements Journal: a snapshot is taken once SnapshotEvery
 // records have accumulated since the last one.
 func (p *Persist) Checkpoint(build func() (*wire.SiteImage, error)) error {
-	if p.appended < p.opts.SnapshotEvery {
+	if !p.Due() {
 		return nil
 	}
 	return p.ForceCheckpoint(build)
 }
 
-// ForceCheckpoint snapshots unconditionally and truncates the WAL.
+// Due reports whether enough records accumulated since the last
+// snapshot to warrant one. The sharded runtime polls it outside the
+// shard locks and runs the stop-the-world checkpoint when it trips.
+func (p *Persist) Due() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.appended >= p.opts.SnapshotEvery
+}
+
+// ForceCheckpoint snapshots unconditionally and truncates the WAL. The
+// build callback runs outside the Persist mutex (it holds the site's
+// own locks); the caller must guarantee no append lands between build
+// and the snapshot write — the unsharded runtime holds r.mu across the
+// whole call, the sharded runtime holds every shard's lock.
 func (p *Persist) ForceCheckpoint(build func() (*wire.SiteImage, error)) error {
 	img, err := build()
+	var data []byte
 	if err == nil {
-		var data []byte
-		if data, err = wire.EncodeSnapshot(img); err == nil {
-			err = p.store.WriteSnapshot(data)
-		}
+		data, err = wire.EncodeSnapshot(img)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err == nil {
+		err = p.store.WriteSnapshot(data)
 	}
 	if err != nil {
 		if p.sticky == nil {
@@ -174,6 +197,10 @@ var _ Journal = (*Persist)(nil)
 // Live traffic arriving during replay is buffered and processed (and
 // journaled) after the replay completes, so the WAL stays a total order
 // of the site's events.
+//
+// Recover rebuilds an unsharded site; a journal written by a sharded
+// site (SiteImage.Shards > 1, or shard-tagged WAL records) must go
+// through RecoverSharded instead.
 func Recover(id ids.SiteID, net netsim.Network, opts Options, j *Persist) (*Runtime, error) {
 	img, recs, err := j.Load()
 	if err != nil {
@@ -185,6 +212,9 @@ func Recover(id ids.SiteID, net netsim.Network, opts Options, j *Persist) (*Runt
 	} else {
 		if img.Site != id {
 			return nil, fmt.Errorf("site %v: recover: journal belongs to site %v", id, img.Site)
+		}
+		if img.Shards > 1 {
+			return nil, fmt.Errorf("site %v: recover: journal written by a %d-shard site; use RecoverSharded", id, img.Shards)
 		}
 		r, err = restoreRuntime(net, opts, img)
 		if err != nil {
@@ -260,28 +290,20 @@ func (r *Runtime) applyRecord(rec *wire.WALRecord) {
 		_, _ = r.applyBatchLocked(rec.Batch.Ops)
 		r.mu.Unlock()
 	case rec.Op != nil:
-		op := rec.Op
+		op := *rec.Op
 		switch op.Kind {
-		case wire.OpNewLocal:
-			_, _ = r.NewLocal(op.Holder)
-		case wire.OpNewLocalIn:
-			_, _ = r.NewLocalIn(op.Holder, op.Clu)
-		case wire.OpNewCluster:
-			_, _ = r.NewCluster()
-		case wire.OpNewRemote:
-			_, _ = r.NewRemote(op.Holder, op.Site)
-		case wire.OpSendRef:
-			_ = r.SendRef(op.Holder, op.To, op.Target)
-		case wire.OpAddRef:
-			_ = r.AddRef(op.Holder, op.Target)
-		case wire.OpDropRefs:
-			_ = r.DropRefs(op.Holder, op.Target)
-		case wire.OpClearSlot:
-			_ = r.ClearSlot(op.Holder, op.Slot)
 		case wire.OpCollect:
 			_, _ = r.Collect()
 		case wire.OpRefresh:
 			_ = r.Refresh()
+		default:
+			// The full journaled record goes back through the singleton
+			// commit sequence (stage → apply; journaling and pre-minting
+			// are suppressed while replaying), preserving any recorded
+			// mints and placement a sharded site stamped on it.
+			r.mu.Lock()
+			_, _ = r.runOpLocked(op)
+			r.mu.Unlock()
 		}
 	}
 }
@@ -294,25 +316,19 @@ func (r *Runtime) replayDeliver(from ids.SiteID, p netsim.Payload) {
 	r.dispatchLocked(from, p)
 }
 
-// restoreRuntime rebuilds a runtime from a snapshot image. It does not
-// register on the network; Recover does.
+// restoreRuntime rebuilds an unsharded runtime from a snapshot image.
+// It does not register on the network; Recover does.
 func restoreRuntime(net netsim.Network, opts Options, img *wire.SiteImage) (*Runtime, error) {
 	r := &Runtime{
 		id:          img.Site,
 		net:         net,
 		opts:        opts,
+		st:          newStreams(),
 		pendingRefs: make(map[ids.ObjectID][]pendingRef),
 		seenIntro:   make(map[introKey]struct{}, len(img.SeenIntro)),
-		send:        make(map[streamKey]*sendStream, len(img.SendStreams)),
-		recv:        make(map[streamKey]*recvTracker, len(img.RecvStreams)),
-		peerEpoch:   make(map[ids.SiteID]uint64, len(img.PeerEpochs)),
-		mint:        img.Mint,
 		removals:    img.Removals,
-		// Each recovery opens a new epoch: peers seeing it on the next
-		// FrameAck re-arm their re-send dampers toward this site.
-		epoch:  img.Epoch + 1,
-		fstats: restoreFrameStats(img.Frames),
 	}
+	restoreStreams(r.st, img)
 	var err error
 	r.engine, err = core.Restore(img.Site, (*sender)(r), r.onRemove, opts.Engine, img.Engine)
 	if err != nil {
@@ -322,36 +338,51 @@ func restoreRuntime(net netsim.Network, opts Options, img *wire.SiteImage) (*Run
 	if err != nil {
 		return nil, err
 	}
-	for _, pr := range img.PendingRefs {
+	r.restoreShardState(img.PendingRefs, img.SeenIntro, img.Outbox)
+	return r, nil
+}
+
+// restoreStreams rebuilds the shared stream table from a snapshot
+// image. Each recovery opens a new epoch: peers seeing it on the next
+// FrameAck re-arm their re-send dampers toward this site.
+func restoreStreams(st *streams, img *wire.SiteImage) {
+	st.mint = img.Mint
+	st.epoch = img.Epoch + 1
+	st.fstats = restoreFrameStats(img.Frames)
+	for _, s := range img.SendStreams {
+		st.send[streamKey{peer: s.Peer, kind: s.Kind}] = &sendStream{nextSeq: s.NextSeq, ackedTo: s.AckedTo}
+	}
+	for _, s := range img.RecvStreams {
+		t := &recvTracker{watermark: s.Watermark}
+		if len(s.Pending) > 0 {
+			t.pending = make(map[uint64]struct{}, len(s.Pending))
+			for _, seq := range s.Pending {
+				t.pending[seq] = struct{}{}
+			}
+		}
+		st.recv[streamKey{peer: s.Peer, kind: s.Kind}] = t
+	}
+	for _, pe := range img.PeerEpochs {
+		st.peerEpoch[pe.Peer] = pe.Epoch
+	}
+}
+
+// restoreShardState fills the per-shard delivery state (pending
+// transfers, the transfer dedup set, the outbox) from its images.
+// Outbox dampers reset on restore: the recovery re-send covers the
+// first attempt, and the first refresh retries promptly.
+func (r *Runtime) restoreShardState(pend []wire.PendingRefImage, intro []wire.IntroImage, outbox []wire.FrameImage) {
+	for _, pr := range pend {
 		r.pendingRefs[pr.Holder] = append(r.pendingRefs[pr.Holder], pendingRef{
 			target: pr.Target, intro: pr.Intro, introSeq: pr.IntroSeq,
 		})
 	}
-	for _, in := range img.SeenIntro {
+	for _, in := range intro {
 		r.seenIntro[introKey{intro: in.Intro, seq: in.Seq}] = struct{}{}
 	}
-	for _, f := range img.Outbox {
-		// Dampers reset on restore: the recovery re-send covers the
-		// first attempt, and the first refresh retries promptly.
+	for _, f := range outbox {
 		r.outbox = append(r.outbox, outboundFrame{to: f.To, seq: f.Seq, p: f.Payload})
 	}
-	for _, st := range img.SendStreams {
-		r.send[streamKey{peer: st.Peer, kind: st.Kind}] = &sendStream{nextSeq: st.NextSeq, ackedTo: st.AckedTo}
-	}
-	for _, st := range img.RecvStreams {
-		t := &recvTracker{watermark: st.Watermark}
-		if len(st.Pending) > 0 {
-			t.pending = make(map[uint64]struct{}, len(st.Pending))
-			for _, seq := range st.Pending {
-				t.pending[seq] = struct{}{}
-			}
-		}
-		r.recv[streamKey{peer: st.Peer, kind: st.Kind}] = t
-	}
-	for _, pe := range img.PeerEpochs {
-		r.peerEpoch[pe.Peer] = pe.Epoch
-	}
-	return r, nil
 }
 
 // restoreFrameStats rebuilds the site counters from their image.
@@ -364,59 +395,69 @@ func restoreFrameStats(f wire.FrameStatsImage) FrameStats {
 	}
 }
 
-// exportImageLocked renders the runtime's full state. Caller holds
-// r.mu at a quiescent point (engine drained).
-func (r *Runtime) exportImageLocked() (*wire.SiteImage, error) {
+// exportShardStateLocked renders this runtime's partition of the site
+// state: heap, engine, and delivery-side buffers — everything except
+// the shared stream table. Caller holds r.mu at a quiescent point
+// (engine drained).
+func (r *Runtime) exportShardStateLocked() (wire.ShardState, error) {
 	eng, err := r.engine.Export()
 	if err != nil {
-		return nil, err
+		return wire.ShardState{}, err
 	}
-	img := &wire.SiteImage{
-		Site:     r.id,
-		Mint:     r.mint,
-		Removals: r.removals,
+	ss := wire.ShardState{
 		Heap:     r.heap.Export(),
 		Engine:   eng,
+		Removals: r.removals,
 	}
 	for _, holder := range sortedObjectKeys(r.pendingRefs) {
 		for _, pr := range r.pendingRefs[holder] {
-			img.PendingRefs = append(img.PendingRefs, wire.PendingRefImage{
+			ss.PendingRefs = append(ss.PendingRefs, wire.PendingRefImage{
 				Holder: holder, Target: pr.target, Intro: pr.intro, IntroSeq: pr.introSeq,
 			})
 		}
 	}
 	for k := range r.seenIntro {
-		img.SeenIntro = append(img.SeenIntro, wire.IntroImage{Intro: k.intro, Seq: k.seq})
+		ss.SeenIntro = append(ss.SeenIntro, wire.IntroImage{Intro: k.intro, Seq: k.seq})
 	}
-	sortIntros(img.SeenIntro)
+	sortIntros(ss.SeenIntro)
 	for _, f := range r.outbox {
-		img.Outbox = append(img.Outbox, wire.FrameImage{To: f.to, Payload: f.p, Seq: f.seq})
+		ss.Outbox = append(ss.Outbox, wire.FrameImage{To: f.to, Payload: f.p, Seq: f.seq})
 	}
-	img.Epoch = r.epoch
+	return ss, nil
+}
+
+// exportStreamsInto renders the shared stream table into the image
+// (deterministically ordered). Safe under any shard's r.mu: it takes
+// the leaf st.mu itself.
+func (st *streams) exportInto(img *wire.SiteImage) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	img.Mint = st.mint
+	img.Epoch = st.epoch
 	img.Frames = wire.FrameStatsImage{
-		AcksSent: r.fstats.AcksSent, AcksReceived: r.fstats.AcksReceived,
-		FramesRetired: r.fstats.FramesRetired, OutboxResends: r.fstats.OutboxResends,
-		OutboxEvicted: r.fstats.OutboxEvicted, ResendsSuppressed: r.fstats.ResendsSuppressed,
-		AdvancesSent: r.fstats.AdvancesSent,
+		AcksSent: st.fstats.AcksSent, AcksReceived: st.fstats.AcksReceived,
+		FramesRetired: st.fstats.FramesRetired, OutboxResends: st.fstats.OutboxResends,
+		OutboxEvicted: st.fstats.OutboxEvicted, ResendsSuppressed: st.fstats.ResendsSuppressed,
+		AdvancesSent: st.fstats.AdvancesSent,
 	}
-	keys := make([]streamKey, 0, len(r.send)+len(r.recv))
-	for k := range r.send {
+	keys := make([]streamKey, 0, len(st.send)+len(st.recv))
+	for k := range st.send {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return streamKeyLess(keys[i], keys[j]) })
 	for _, k := range keys {
-		st := r.send[k]
+		s := st.send[k]
 		img.SendStreams = append(img.SendStreams, wire.SendStreamImage{
-			Peer: k.peer, Kind: k.kind, NextSeq: st.nextSeq, AckedTo: st.ackedTo,
+			Peer: k.peer, Kind: k.kind, NextSeq: s.nextSeq, AckedTo: s.ackedTo,
 		})
 	}
 	keys = keys[:0]
-	for k := range r.recv {
+	for k := range st.recv {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return streamKeyLess(keys[i], keys[j]) })
 	for _, k := range keys {
-		t := r.recv[k]
+		t := st.recv[k]
 		ri := wire.RecvStreamImage{Peer: k.peer, Kind: k.kind, Watermark: t.watermark}
 		for seq := range t.pending {
 			ri.Pending = append(ri.Pending, seq)
@@ -424,14 +465,35 @@ func (r *Runtime) exportImageLocked() (*wire.SiteImage, error) {
 		sort.Slice(ri.Pending, func(i, j int) bool { return ri.Pending[i] < ri.Pending[j] })
 		img.RecvStreams = append(img.RecvStreams, ri)
 	}
-	peers := make([]ids.SiteID, 0, len(r.peerEpoch))
-	for p := range r.peerEpoch {
+	peers := make([]ids.SiteID, 0, len(st.peerEpoch))
+	for p := range st.peerEpoch {
 		peers = append(peers, p)
 	}
 	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
 	for _, p := range peers {
-		img.PeerEpochs = append(img.PeerEpochs, wire.PeerEpochImage{Peer: p, Epoch: r.peerEpoch[p]})
+		img.PeerEpochs = append(img.PeerEpochs, wire.PeerEpochImage{Peer: p, Epoch: st.peerEpoch[p]})
 	}
+}
+
+// exportImageLocked renders the runtime's full state (an unsharded
+// site, or shard 0's slice plus the shared streams — Sharded appends
+// the sibling shards' states). Caller holds r.mu at a quiescent point
+// (engine drained).
+func (r *Runtime) exportImageLocked() (*wire.SiteImage, error) {
+	ss, err := r.exportShardStateLocked()
+	if err != nil {
+		return nil, err
+	}
+	img := &wire.SiteImage{
+		Site:        r.id,
+		Removals:    ss.Removals,
+		Heap:        ss.Heap,
+		Engine:      ss.Engine,
+		PendingRefs: ss.PendingRefs,
+		SeenIntro:   ss.SeenIntro,
+		Outbox:      ss.Outbox,
+	}
+	r.st.exportInto(img)
 	return img, nil
 }
 

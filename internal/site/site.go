@@ -101,7 +101,42 @@ type bufDelivery struct {
 	p    netsim.Payload
 }
 
-// Runtime is one site.
+// shardHooks wires one Runtime into a Sharded composition (DESIGN.md
+// §3.4). Every callback is set by Sharded before the runtime handles
+// its first event and never changes afterwards; nil shardHooks (the sh
+// field of an unsharded Runtime) selects the classic single-lock
+// behavior everywhere.
+type shardHooks struct {
+	// index is this shard's position (0-based). Shard 0 owns the site's
+	// root cluster.
+	index int
+	// owns narrows cluster locality below site equality: true only for
+	// same-site clusters this shard routes. Installed as the engine's
+	// Owns predicate too.
+	owns func(ids.ClusterID) bool
+	// place picks the placement shard for a freshly minted local cluster
+	// and records the routing choice; holderClu is the creating holder's
+	// cluster (NoCluster for a bare NewCluster). pin forces the
+	// executing shard (multi-op batches, where a cross-shard create
+	// would strand the batch's deferred references). Returns the
+	// 1-based shard recorded in OpRecord.Place.
+	place func(newClu, holderClu ids.ClusterID, pin bool) int
+	// clusterShard answers the 0-based routing shard of any same-site
+	// cluster (placement map first, deterministic hash otherwise).
+	clusterShard func(ids.ClusterID) int
+	// placed records an applied placement: the WAL replay path
+	// repopulates the routing map through it (premint is skipped during
+	// replay; the recorded Place is authoritative).
+	placed func(cl ids.ClusterID, place int)
+	// route hands a self-addressed frame to the ordered cross-shard
+	// handoff queue of its destination shard.
+	route func(p netsim.Payload)
+}
+
+// Runtime is one site — or, within a Sharded composition, one shard of
+// a site: a full runtime owning a partition of the site's clusters,
+// sharing the site identity, the identity mint, and the retirement
+// stream table with its sibling shards.
 type Runtime struct {
 	mu     sync.Mutex
 	id     ids.SiteID
@@ -110,13 +145,18 @@ type Runtime struct {
 	net    netsim.Network
 	opts   Options
 
+	// st is the retirement-stream table: private to an unsharded
+	// runtime, shared across the shards of a sharded site. Its mutex is
+	// a leaf under r.mu.
+	st *streams
+	// sh holds the sharding callbacks; nil on an unsharded runtime.
+	sh *shardHooks
+
 	// pendingRefs buffers reference transfers that arrived before the
 	// creation message of their holder object (cross-sender races).
 	pendingRefs map[ids.ObjectID][]pendingRef
 	// removals counts GGD removals since the last collection.
 	removals int
-	// mint numbers identities created by this site on behalf of others.
-	mint uint64
 
 	// journal, when non-nil, receives a durable record of every relevant
 	// event before it takes effect (write-ahead; see DESIGN.md §5).
@@ -133,23 +173,10 @@ type Runtime struct {
 	// first, hard-capped at maxOutbox as a documented backstop.
 	outbox []outboundFrame
 
-	// send and recv are the per-(peer, stream) retirement-stream states:
-	// sequence counters and acknowledged watermarks on the send side,
-	// cumulative settle watermarks on the receive side (DESIGN.md §3.2).
-	send map[streamKey]*sendStream
-	recv map[streamKey]*recvTracker
-	// peerEpoch is the last seen recovery epoch per peer; a change
-	// re-arms the re-send dampers for that peer.
-	peerEpoch map[ids.SiteID]uint64
 	// dirtyAcks are the streams whose watermark must be (re-)acked at
-	// the end of the current dispatch.
+	// the end of the current dispatch. Per shard: the shard that settled
+	// a frame sends the ack.
 	dirtyAcks map[streamKey]struct{}
-	// epoch counts this site's recoveries, piggybacked on FrameAcks.
-	epoch uint64
-	// refreshRound is the damper time base for outbox re-sends.
-	refreshRound uint64
-	// fstats counts the retirement activity.
-	fstats FrameStats
 
 	// coalescing, when set, buffers outbound frames per destination
 	// instead of sending them: open during a batch commit and during
@@ -174,21 +201,42 @@ func New(id ids.SiteID, net netsim.Network, opts Options) *Runtime {
 	return r
 }
 
-// newRuntime builds a fresh runtime without registering it.
+// newRuntime builds a fresh unsharded runtime without registering it.
 func newRuntime(id ids.SiteID, net netsim.Network, opts Options) *Runtime {
 	r := &Runtime{
 		id:          id,
 		net:         net,
 		opts:        opts,
+		st:          newStreams(),
 		pendingRefs: make(map[ids.ObjectID][]pendingRef),
 		seenIntro:   make(map[introKey]struct{}),
-		send:        make(map[streamKey]*sendStream),
-		recv:        make(map[streamKey]*recvTracker),
-		peerEpoch:   make(map[ids.SiteID]uint64),
 	}
 	r.engine = core.New(id, (*sender)(r), r.onRemove, opts.Engine)
 	r.heap = heap.New(id, (*hooks)(r))
 	r.engine.Register(r.heap.RootCluster())
+	return r
+}
+
+// newShardRuntime builds one shard of a sharded site: a rootless heap
+// partition (except shard 0) drawing identities from the shared mint,
+// an engine whose locality predicate is the shard's routing rule, and
+// the shared stream table.
+func newShardRuntime(id ids.SiteID, net netsim.Network, opts Options, st *streams, ctr *heap.Counters, sh *shardHooks) *Runtime {
+	opts.Engine.Owns = sh.owns
+	r := &Runtime{
+		id:          id,
+		net:         net,
+		opts:        opts,
+		st:          st,
+		sh:          sh,
+		pendingRefs: make(map[ids.ObjectID][]pendingRef),
+		seenIntro:   make(map[introKey]struct{}),
+	}
+	r.engine = core.New(id, (*sender)(r), r.onRemove, r.opts.Engine)
+	r.heap = heap.NewShard(id, (*hooks)(r), ctr, sh.index == 0)
+	if sh.index == 0 {
+		r.engine.Register(r.heap.RootCluster())
+	}
 	return r
 }
 
@@ -199,6 +247,23 @@ func (r *Runtime) ID() ids.SiteID { return r.id }
 // mutator's named references.
 func (r *Runtime) Root() heap.Ref {
 	return r.heap.RootRef()
+}
+
+// owns reports whether this runtime routes cl: plain site equality when
+// unsharded, the shard routing rule otherwise.
+func (r *Runtime) owns(cl ids.ClusterID) bool {
+	if r.sh != nil {
+		return r.sh.owns(cl)
+	}
+	return cl.Site == r.id
+}
+
+// shardIndex returns this runtime's shard position (0 when unsharded).
+func (r *Runtime) shardIndex() int {
+	if r.sh != nil {
+		return r.sh.index
+	}
+	return 0
 }
 
 // --- heap.Hooks and core plumbing ---------------------------------------
@@ -294,17 +359,29 @@ func (r *Runtime) Close() {
 func (r *Runtime) handle(from ids.SiteID, p netsim.Payload) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed {
-		return
-	}
 	if r.replaying {
 		// A live delivery racing the recovery replay: buffered, then
 		// journaled and processed once the replay completes.
-		r.recoverBuf = append(r.recoverBuf, bufDelivery{from: from, p: p})
+		if !r.closed {
+			r.recoverBuf = append(r.recoverBuf, bufDelivery{from: from, p: p})
+		}
+		return
+	}
+	r.deliverShardLocked(from, p)
+	r.checkpointLocked()
+}
+
+// deliverShardLocked journals and dispatches one delivery with r.mu
+// already held: the body of handle, also used by the sharded
+// stop-the-world checkpoint, which drains the handoff queues while
+// holding every shard's lock. Caller holds r.mu (and never a sibling
+// shard's lock except on the all-locks checkpoint path).
+func (r *Runtime) deliverShardLocked(from ids.SiteID, p netsim.Payload) {
+	if r.closed {
 		return
 	}
 	if r.journal != nil {
-		if err := r.journal.Append(&wire.WALRecord{Deliver: &wire.DeliverRecord{From: from, Payload: p}}); err != nil {
+		if err := r.journal.Append(&wire.WALRecord{Shard: r.shardIndex(), Deliver: &wire.DeliverRecord{From: from, Payload: p}}); err != nil {
 			// An unjournalable delivery must not take effect: acting on it
 			// would desynchronise the replayable history from the messages
 			// this site sends. Dropping is safe — the protocol tolerates
@@ -313,7 +390,6 @@ func (r *Runtime) handle(from ids.SiteID, p netsim.Payload) {
 		}
 	}
 	r.dispatchLocked(from, p)
-	r.checkpointLocked()
 }
 
 // dispatchLocked applies one delivery, settles the engine, and flushes
@@ -371,7 +447,7 @@ func (r *Runtime) journalOp(op wire.OpRecord) error {
 	if r.journal == nil || r.replaying {
 		return nil
 	}
-	if err := r.journal.Append(&wire.WALRecord{Op: &op}); err != nil {
+	if err := r.journal.Append(&wire.WALRecord{Shard: r.shardIndex(), Op: &op}); err != nil {
 		return fmt.Errorf("site %v: journal %v: %w", r.id, op.Kind, err)
 	}
 	return nil
@@ -409,7 +485,9 @@ func (r *Runtime) recordOutboundLocked(to ids.SiteID, seq uint64, p netsim.Paylo
 		victim := r.outbox[0]
 		copy(r.outbox, r.outbox[1:])
 		r.outbox = r.outbox[:len(r.outbox)-1]
-		r.fstats.OutboxEvicted++
+		r.st.mu.Lock()
+		r.st.fstats.OutboxEvicted++
+		r.st.mu.Unlock()
 		if ao, ok := r.opts.Observer.(AckObserver); ok {
 			ao.FrameEvicted(r.id, victim.to, core.StreamMut, 1)
 		}
@@ -433,7 +511,8 @@ func (r *Runtime) handleCreate(m wire.Create) {
 	if err != nil {
 		return // duplicate create: idempotent drop
 	}
-	// The object is remotely referenced from birth: it is a global root.
+	// The object is referenced from outside this heap partition from
+	// birth (a remote site or a sibling shard): it is a global root.
 	_ = r.heap.MarkEntry(o.ID())
 	for _, pr := range r.pendingRefs[m.Obj] {
 		_, _ = r.heap.AddRefIntro(m.Obj, pr.target, pr.intro, pr.introSeq)
@@ -502,9 +581,10 @@ func (r *Runtime) settleLocked() {
 
 // The singleton mutator entry points all follow one commit sequence —
 // stage-check (reject without journaling, mirroring the historical
-// pre-journal validation), write-ahead journal, apply, checkpoint —
-// shared with the batch path (ApplyBatch), which runs the same stages
-// once per group instead of once per op.
+// pre-journal validation), pre-mint (sharded sites record the drawn
+// identities and placement on the OpRecord), write-ahead journal,
+// apply, checkpoint — shared with the batch path (ApplyBatch), which
+// runs the same stages once per group instead of once per op.
 
 // runOpLocked commits one mutator operation through the singleton
 // path. Caller holds r.mu.
@@ -512,12 +592,54 @@ func (r *Runtime) runOpLocked(op wire.OpRecord) (heap.Ref, error) {
 	if err := r.stageOpLocked(op); err != nil {
 		return heap.NilRef, err
 	}
+	r.premintLocked(&op, false)
 	if err := r.journalOp(op); err != nil {
 		return heap.NilRef, err
 	}
 	ref, err := r.applyOpLocked(op)
 	r.checkpointLocked()
 	return ref, err
+}
+
+// premintLocked draws the identities op will mint and records them
+// (plus the placement shard for fresh clusters) on the record before it
+// is journaled. Only sharded sites pre-mint: with concurrent shards the
+// WAL append order need not match the live mint order, so replaying the
+// counters in WAL order would shift identities — the recorded values
+// make replay exact. An unsharded runtime replays under one lock, where
+// WAL order IS mint order, and keeps its legacy (mint-at-apply) format.
+// During replay the recorded values are authoritative and nothing is
+// drawn. pin forces fresh clusters onto the executing shard (multi-op
+// batches). Caller holds r.mu; the op has passed stageOpLocked.
+func (r *Runtime) premintLocked(op *wire.OpRecord, pin bool) {
+	if r.sh == nil || r.replaying {
+		return
+	}
+	ctr := r.heap.Counters()
+	switch op.Kind {
+	case wire.OpNewLocal:
+		// Draw order matches the solo apply path: cluster, then object.
+		op.MintClu = ctr.MintClu()
+		op.MintObj = ctr.MintObj()
+		holderClu := ids.NoCluster
+		if ho := r.heap.Object(op.Holder); ho != nil {
+			holderClu = ho.Cluster()
+		}
+		cl := ids.ClusterID{Site: r.id, Seq: op.MintClu}
+		op.Place = r.sh.place(cl, holderClu, pin)
+	case wire.OpNewLocalIn:
+		op.MintObj = ctr.MintObj()
+		op.Place = r.sh.clusterShard(op.Clu) + 1
+	case wire.OpNewCluster:
+		op.MintClu = ctr.MintClu()
+		cl := ids.ClusterID{Site: r.id, Seq: op.MintClu}
+		op.Place = r.sh.place(cl, ids.NoCluster, true)
+	case wire.OpNewRemote:
+		r.st.mu.Lock()
+		r.st.mint++
+		op.MintObj = r.st.mint
+		r.st.mu.Unlock()
+	}
 }
 
 // NewLocal creates an object in a fresh cluster on this site, referenced
@@ -601,15 +723,22 @@ func (r *Runtime) ClearSlot(holder ids.ObjectID, slot int) error {
 func (r *Runtime) applyOpLocked(op wire.OpRecord) (heap.Ref, error) {
 	switch op.Kind {
 	case wire.OpNewLocal:
-		return r.applyNewLocalLocked(op.Holder)
+		return r.applyNewLocalLocked(op)
 	case wire.OpNewLocalIn:
-		return r.applyNewLocalInLocked(op.Holder, op.Clu)
+		return r.applyNewLocalInLocked(op)
 	case wire.OpNewCluster:
-		cl := r.heap.NewCluster()
+		var cl ids.ClusterID
+		if op.MintClu != 0 {
+			cl = ids.ClusterID{Site: r.id, Seq: op.MintClu}
+			r.heap.Counters().ObserveClu(op.MintClu)
+		} else {
+			cl = r.heap.NewCluster()
+		}
+		r.notePlacement(cl, op.Place)
 		r.engine.Register(cl)
 		return heap.Ref{Cluster: cl}, nil
 	case wire.OpNewRemote:
-		return r.applyNewRemoteLocked(op.Holder, op.Site)
+		return r.applyNewRemoteLocked(op)
 	case wire.OpSendRef:
 		return heap.NilRef, r.applySendRefLocked(op.Holder, op.To, op.Target)
 	case wire.OpAddRef:
@@ -628,13 +757,48 @@ func (r *Runtime) applyOpLocked(op wire.OpRecord) (heap.Ref, error) {
 	return heap.NilRef, fmt.Errorf("site %v: apply %v: unknown op", r.id, op.Kind)
 }
 
-func (r *Runtime) applyNewLocalLocked(holder ids.ObjectID) (heap.Ref, error) {
+// notePlacement records an applied cluster placement in the shard
+// routing map (replay repopulates the map through this path; the live
+// path already stored it at pre-mint, and the re-store is idempotent).
+func (r *Runtime) notePlacement(cl ids.ClusterID, place int) {
+	if r.sh != nil && place != 0 {
+		r.sh.placed(cl, place)
+	}
+}
+
+func (r *Runtime) applyNewLocalLocked(op wire.OpRecord) (heap.Ref, error) {
+	holder := op.Holder
 	if r.heap.Object(holder) == nil {
 		return heap.NilRef, fmt.Errorf("site %v: NewLocal holder %v: %w", r.id, holder, heap.ErrNoSuchObject)
 	}
-	cl := r.heap.NewCluster()
+	var cl ids.ClusterID
+	var obj ids.ObjectID
+	if op.MintClu != 0 {
+		// Pre-minted identities (sharded site, live or replay).
+		cl = ids.ClusterID{Site: r.id, Seq: op.MintClu}
+		obj = ids.ObjectID{Site: r.id, Seq: op.MintObj}
+		r.heap.Counters().ObserveClu(op.MintClu)
+		r.heap.Counters().ObserveObj(op.MintObj)
+	} else {
+		cl = r.heap.NewCluster()
+	}
+	r.notePlacement(cl, op.Place)
+	if op.Place != 0 && op.Place-1 != r.shardIndex() {
+		// The placement policy put the fresh cluster on a sibling shard:
+		// create it there through the self-as-peer handoff path.
+		return r.createOnShardLocked(holder, obj, cl)
+	}
 	r.engine.Register(cl)
-	o := r.heap.NewObject(cl)
+	var o *heap.Object
+	if obj.Valid() {
+		var err error
+		o, err = r.heap.NewObjectAt(obj, cl)
+		if err != nil {
+			return heap.NilRef, err
+		}
+	} else {
+		o = r.heap.NewObject(cl)
+	}
 	ref := heap.Ref{Obj: o.ID(), Cluster: cl}
 	if _, err := r.heap.AddRef(holder, ref); err != nil {
 		return heap.NilRef, err
@@ -643,15 +807,34 @@ func (r *Runtime) applyNewLocalLocked(holder ids.ObjectID) (heap.Ref, error) {
 	return ref, nil
 }
 
-func (r *Runtime) applyNewLocalInLocked(holder ids.ObjectID, cl ids.ClusterID) (heap.Ref, error) {
+func (r *Runtime) applyNewLocalInLocked(op wire.OpRecord) (heap.Ref, error) {
+	holder, cl := op.Holder, op.Clu
 	if cl.Site != r.id {
 		return heap.NilRef, fmt.Errorf("site %v: NewLocalIn %v: %w", r.id, cl, heap.ErrForeignCluster)
 	}
 	if r.heap.Object(holder) == nil {
 		return heap.NilRef, fmt.Errorf("site %v: NewLocalIn holder %v: %w", r.id, holder, heap.ErrNoSuchObject)
 	}
+	var obj ids.ObjectID
+	if op.MintObj != 0 {
+		obj = ids.ObjectID{Site: r.id, Seq: op.MintObj}
+		r.heap.Counters().ObserveObj(op.MintObj)
+	}
+	if op.Place != 0 && op.Place-1 != r.shardIndex() {
+		// The target cluster lives on a sibling shard.
+		return r.createOnShardLocked(holder, obj, cl)
+	}
 	r.engine.Register(cl)
-	o := r.heap.NewObject(cl)
+	var o *heap.Object
+	if obj.Valid() {
+		var err error
+		o, err = r.heap.NewObjectAt(obj, cl)
+		if err != nil {
+			return heap.NilRef, err
+		}
+	} else {
+		o = r.heap.NewObject(cl)
+	}
 	ref := heap.Ref{Obj: o.ID(), Cluster: cl}
 	if _, err := r.heap.AddRef(holder, ref); err != nil {
 		return heap.NilRef, err
@@ -660,7 +843,38 @@ func (r *Runtime) applyNewLocalInLocked(holder ids.ObjectID, cl ids.ClusterID) (
 	return ref, nil
 }
 
-func (r *Runtime) applyNewRemoteLocked(holder ids.ObjectID, target ids.SiteID) (heap.Ref, error) {
+// createOnShardLocked creates a pre-minted object whose cluster a
+// sibling shard owns: the exact remote-creation flow of
+// applyNewRemoteLocked with the own site as target — the creation frame
+// travels the ordered handoff queue instead of the network, and every
+// invariant (journal-before-send, outbox retention, FrameAck-to-self
+// retirement, zombie-drop at the owner) comes along for free. Caller
+// holds r.mu.
+func (r *Runtime) createOnShardLocked(holder ids.ObjectID, obj ids.ObjectID, cl ids.ClusterID) (heap.Ref, error) {
+	ho := r.heap.Object(holder)
+	ref := heap.Ref{Obj: obj, Cluster: cl}
+	// Order matters, exactly as in applyNewRemoteLocked: AddRefIntro
+	// fires EdgeUp, which bumps the creator's clock for the creation
+	// event; the stamp shipped with the frame is that clock.
+	if _, err := r.heap.AddRefIntro(holder, ref, ids.NoCluster, ids.CreationSeq); err != nil {
+		return heap.NilRef, err
+	}
+	stamp := r.engine.RemoteCreationStamp(ho.Cluster())
+	create := wire.Create{
+		Creator: ho.Cluster(),
+		Stamp:   stamp,
+		Obj:     obj,
+		Cluster: cl,
+		Seq:     r.assignMutSeqLocked(r.id),
+	}
+	r.emitLocked(r.id, create)
+	r.recordOutboundLocked(r.id, create.Seq, create)
+	r.settleLocked()
+	return ref, nil
+}
+
+func (r *Runtime) applyNewRemoteLocked(op wire.OpRecord) (heap.Ref, error) {
+	holder, target := op.Holder, op.Site
 	ho := r.heap.Object(holder)
 	if ho == nil {
 		return heap.NilRef, fmt.Errorf("site %v: NewRemote holder %v: %w", r.id, holder, heap.ErrNoSuchObject)
@@ -668,9 +882,24 @@ func (r *Runtime) applyNewRemoteLocked(holder ids.ObjectID, target ids.SiteID) (
 	if target == r.id {
 		return heap.NilRef, fmt.Errorf("site %v: NewRemote: %w", r.id, ErrRemoteSelf)
 	}
-	r.mint++
-	obj := ids.ObjectID{Site: target, Seq: uint64(r.id)<<32 | r.mint}
-	cl := ids.ClusterID{Site: target, Seq: uint64(r.id)<<32 | r.mint}
+	var mint uint64
+	if op.MintObj != 0 {
+		// Pre-minted (sharded site): the recorded draw is authoritative;
+		// keep the shared counter at least that far along.
+		mint = op.MintObj
+		r.st.mu.Lock()
+		if r.st.mint < mint {
+			r.st.mint = mint
+		}
+		r.st.mu.Unlock()
+	} else {
+		r.st.mu.Lock()
+		r.st.mint++
+		mint = r.st.mint
+		r.st.mu.Unlock()
+	}
+	obj := ids.ObjectID{Site: target, Seq: uint64(r.id)<<32 | mint}
+	cl := ids.ClusterID{Site: target, Seq: uint64(r.id)<<32 | mint}
 	ref := heap.Ref{Obj: obj, Cluster: cl}
 	// Order matters: AddRefIntro fires EdgeUp, which bumps the creator's
 	// clock for the creation event; the stamp shipped with the message is
@@ -702,7 +931,8 @@ func (r *Runtime) applySendRefLocked(fromObj ids.ObjectID, to heap.Ref, target h
 	if !r.holds(fo, target) {
 		return fmt.Errorf("site %v: SendRef: %v of %v: %w", r.id, target, fromObj, ErrNotHolder)
 	}
-	if to.Obj.Site == r.id {
+	if to.Obj.Site == r.id && r.owns(to.Cluster) {
+		// Destination owned by this heap partition: immediate copy.
 		if r.heap.Object(to.Obj) == nil {
 			return fmt.Errorf("site %v: SendRef to %v: %w", r.id, to.Obj, heap.ErrNoSuchObject)
 		}
@@ -711,10 +941,13 @@ func (r *Runtime) applySendRefLocked(fromObj ids.ObjectID, to heap.Ref, target h
 		r.settleLocked()
 		return err
 	}
-	// Once a reference to a local object crosses the site boundary, the
-	// object becomes a global root (§2.1): local GC must treat it as a
-	// root until GGD removes its cluster.
-	if target.Cluster.Site == r.id {
+	// Once a reference to a local object crosses the partition boundary
+	// (to another site, or to a sibling shard), the object becomes a
+	// global root (§2.1): local GC must treat it as a root until GGD
+	// removes its cluster. Targets this shard does not own were marked
+	// by whichever shard first exported them — the first export of any
+	// reference necessarily executes on the owning shard.
+	if r.owns(target.Cluster) {
 		_ = r.heap.MarkEntry(target.Obj)
 	}
 	// Sender-side lazy log-keeping: DV_i[k][j]++ (or DV_i[i][j]++ when
@@ -759,8 +992,18 @@ func (r *Runtime) holds(o *heap.Object, target heap.Ref) bool {
 func (r *Runtime) Collect() (heap.CollectStats, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.journalOp(wire.OpRecord{Kind: wire.OpCollect}); err != nil {
-		return heap.CollectStats{}, err
+	return r.collectShardLocked(true)
+}
+
+// collectShardLocked is the body of Collect: journal (when this shard
+// speaks for the site), collect, settle, checkpoint. Sharded.Collect
+// journals one site-wide OpCollect through shard 0 and runs the body on
+// every shard. Caller holds r.mu and no other shard's lock.
+func (r *Runtime) collectShardLocked(journal bool) (heap.CollectStats, error) {
+	if journal {
+		if err := r.journalOp(wire.OpRecord{Kind: wire.OpCollect}); err != nil {
+			return heap.CollectStats{}, err
+		}
 	}
 	stats := r.collectLocked()
 	r.engine.Drain()
@@ -778,13 +1021,31 @@ func (r *Runtime) Collect() (heap.CollectStats, error) {
 func (r *Runtime) Refresh() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.journalOp(wire.OpRecord{Kind: wire.OpRefresh}); err != nil {
-		return err
+	r.st.mu.Lock()
+	r.st.refreshRound++
+	r.st.mu.Unlock()
+	return r.refreshShardLocked(true, true)
+}
+
+// refreshShardLocked is the body of Refresh minus the round bump (the
+// site bumps once, not once per shard). floors gates the StreamAdvance
+// advisories: an unsharded runtime advances its own floors; a sharded
+// site suppresses the per-shard pass and emits merged floors from
+// Sharded.Refresh instead — one shard's retained floor says nothing
+// about a sibling's, and advancing past a sibling's retained row would
+// let the peer retire it undelivered. Caller holds r.mu and no other
+// shard's lock.
+func (r *Runtime) refreshShardLocked(journal, floors bool) error {
+	if journal {
+		if err := r.journalOp(wire.OpRecord{Kind: wire.OpRefresh}); err != nil {
+			return err
+		}
 	}
-	r.refreshRound++
 	r.engine.Refresh()
 	r.resendOutboxLocked()
-	r.advanceFloorsLocked()
+	if floors {
+		r.advanceFloorsLocked()
+	}
 	r.settleLocked()
 	r.flushAcksLocked()
 	r.checkpointLocked()

@@ -118,13 +118,13 @@ func TestRecordArity(t *testing.T) {
 	}
 }
 
-// TestSnapshotV3StillDecodes: the batch/envelope additions changed the
-// WAL record shape only — SiteImage is untouched, so v3 snapshots
-// written before this change decode without a version bump (and the
-// version constant itself must not have moved).
-func TestSnapshotV3StillDecodes(t *testing.T) {
-	if SnapshotVersion != 3 {
-		t.Fatalf("SnapshotVersion = %d; the batch API must not bump it", SnapshotVersion)
+// TestSnapshotRoundTrip: the sharding additions bumped the snapshot
+// format to v4 (shard-partitioned state); older images still decode
+// (see TestSnapshotV3Migrates in shard_test.go), and re-encoded images
+// round-trip.
+func TestSnapshotV4Pinned(t *testing.T) {
+	if SnapshotVersion != 4 {
+		t.Fatalf("SnapshotVersion = %d; sharding pinned the format at v4", SnapshotVersion)
 	}
 	img := sampleImage()
 	data, err := EncodeSnapshot(img)

@@ -31,12 +31,16 @@ import (
 // RefTransfer.ToCluster inside stored frames). Version 3 added the
 // acknowledged-retirement protocol's durable state: per-peer stream
 // counters and receive watermarks, the recovery epoch, frame-level
-// statistics, and stream sequences on retained rows. Version 2 images
-// migrate forward losslessly — every new field starts zero, which is
-// exactly the pre-protocol state (nothing acknowledged yet, so the
-// first refresh rounds re-ship and the watermarks build up from the
-// live traffic) — so DecodeSnapshot accepts both.
-const SnapshotVersion = 3
+// statistics, and stream sequences on retained rows. Version 4 added
+// the lock-striped shard partition (DESIGN.md §3.4): the shard count,
+// per-shard state blocks for shards 1..N-1 (shard 0 keeps the legacy
+// top-level fields, so a 1-shard image is byte-compatible with v3
+// modulo the version number), the round-robin placement cursor, and
+// minted identities recorded on OpRecords. Older images migrate
+// forward losslessly — every new field starts zero, which decodes as
+// "one shard, identities re-minted from counters", exactly the
+// pre-shard behaviour — so DecodeSnapshot accepts v2 and v3 too.
+const SnapshotVersion = 4
 
 // minSnapshotVersion is the oldest snapshot version DecodeSnapshot
 // still migrates forward.
@@ -83,6 +87,29 @@ type SiteImage struct {
 	PeerEpochs []PeerEpochImage
 	// Frames are the site-level retirement statistics.
 	Frames FrameStatsImage
+	// Shards is the shard count the image was exported with (0 and 1
+	// both mean the unsharded runtime — 0 is what v2/v3 images decode
+	// to). The count is sticky per data directory: recovery always
+	// rebuilds the partition the image records.
+	Shards int
+	// ShardExtra holds the per-shard state of shards 1..Shards-1; shard
+	// 0 lives in the legacy top-level fields above. Shared state (mint
+	// counters, stream watermarks, epoch) stays top-level: it is shared
+	// across shards at runtime too.
+	ShardExtra []ShardState
+	// PlaceRR is the round-robin placement cursor for clusters minted
+	// under the root cluster (the shard-spreading policy).
+	PlaceRR uint64
+}
+
+// ShardState is the durable state owned by one non-zero shard.
+type ShardState struct {
+	Heap        heap.Image
+	Engine      core.EngineImage
+	Removals    int
+	PendingRefs []PendingRefImage
+	SeenIntro   []IntroImage
+	Outbox      []FrameImage
 }
 
 // SendStreamImage is one sender-side retirement stream.
@@ -151,6 +178,12 @@ type WALRecord struct {
 	// fsync (or group-commit window) for the whole group. Pre-batch WALs
 	// never carry it, so old logs decode and replay unchanged.
 	Batch *BatchRecord
+	// Shard tags the record with the shard that journaled it (the
+	// executing shard for ops, the destination shard for deliveries).
+	// Replay routes by this tag, making recovery independent of the
+	// live routing-table state. Zero on pre-shard WALs and on 1-shard
+	// runtimes, where shard 0 is the whole site.
+	Shard int
 }
 
 // BatchRecord is the journaled form of one committed mutator batch.
@@ -227,9 +260,16 @@ func (k OpKind) String() string {
 	return fmt.Sprintf("OpKind(%d)", uint8(k))
 }
 
-// OpRecord is one mutator operation with its arguments. Results (minted
-// identities) are not recorded: they are deterministic functions of the
-// restored counters, so replay re-mints them identically.
+// OpRecord is one mutator operation with its arguments. On the
+// unsharded runtime, results (minted identities) are deterministic
+// functions of the restored counters, so replay re-mints them
+// identically with the Mint* fields left zero. Sharded runtimes
+// journal concurrently, so WAL order no longer equals mint order: the
+// executing shard pre-mints at stage time and records the drawn
+// counter values (MintObj/MintClu) plus the placement decision (Place)
+// so replay reproduces the exact identities and routing regardless of
+// interleaving. Zero values mean "mint from the counter" — legacy
+// records replay unchanged.
 type OpRecord struct {
 	Kind   OpKind
 	Holder ids.ObjectID  // NewLocal, NewLocalIn, NewRemote, SendRef (sender), AddRef, DropRefs, ClearSlot
@@ -238,6 +278,13 @@ type OpRecord struct {
 	To     heap.Ref      // SendRef destination
 	Target heap.Ref      // SendRef, AddRef, DropRefs target
 	Slot   int           // ClearSlot index
+	// MintObj is the pre-minted object counter value (creates), MintClu
+	// the pre-minted cluster counter value (NewLocal), and Place the
+	// 1-based shard the minted cluster was placed on (NewLocal under the
+	// root cluster). Zero = draw from the live counter / route live.
+	MintObj uint64
+	MintClu uint64
+	Place   int
 }
 
 // DeliverRecord is one incoming message delivery.

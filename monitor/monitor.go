@@ -36,6 +36,14 @@ type Sources struct {
 	// Transport is the shared delivery statistics of the node's
 	// transport; nil when the transport exposes none.
 	Transport *netsim.Stats
+	// Shards returns the lock-stripe width; nil for an unsharded node.
+	Shards func() int
+	// ShardDepths returns one shard's retained-state table sizes; nil
+	// for an unsharded node. Valid indices are 0..Shards()-1.
+	ShardDepths func(i int) site.Depths
+	// Handoff returns the queued cross-shard frame count; nil for an
+	// unsharded node.
+	Handoff func() int
 }
 
 // Event is one structured trace entry: an Observer or AckObserver
@@ -136,6 +144,15 @@ type Snapshot struct {
 	// Transport is the per-kind delivery statistics; nil when the node's
 	// transport exposes none.
 	Transport map[string]netsim.KindStats `json:"transport,omitempty"`
+	// Shards is the lock-stripe width; 0 for an unsharded node.
+	Shards int `json:"shards,omitempty"`
+	// ShardDepths is each shard's retained-state table sizes, in shard
+	// order; nil for an unsharded node. The site-wide Depths above is
+	// their sum.
+	ShardDepths []site.Depths `json:"shard_depths,omitempty"`
+	// Handoff is the queued cross-shard frame count (zero at
+	// quiescence); 0 for an unsharded node.
+	Handoff int `json:"handoff,omitempty"`
 	// Residual is the oracle-reported residual garbage object count;
 	// nil until SetResidual is called (production deployments have no
 	// oracle).
@@ -303,6 +320,18 @@ func (m *Monitor) Snapshot() Snapshot {
 	}
 	if src.Depths != nil {
 		s.Depths = src.Depths()
+	}
+	if src.Shards != nil {
+		s.Shards = src.Shards()
+		if src.ShardDepths != nil {
+			s.ShardDepths = make([]site.Depths, s.Shards)
+			for i := range s.ShardDepths {
+				s.ShardDepths[i] = src.ShardDepths(i)
+			}
+		}
+	}
+	if src.Handoff != nil {
+		s.Handoff = src.Handoff()
 	}
 	if src.Persist != nil {
 		ps := src.Persist()

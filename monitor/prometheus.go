@@ -81,6 +81,27 @@ func WriteExposition(w io.Writer, snaps ...Snapshot) error {
 	p.igauge("causalgc_pending_deliveries_depth", "Control messages buffered ahead of registration.",
 		snaps, func(s *Snapshot) int { return s.Depths.PendingDeliveries })
 
+	if anyShards(snaps) {
+		p.head("causalgc_shards", "gauge", "Lock-stripe width of the sharded site.")
+		for i := range snaps {
+			if s := &snaps[i]; s.Shards > 0 {
+				p.sample("causalgc_shards", s, "", float64(s.Shards))
+			}
+		}
+		p.head("causalgc_handoff_depth", "gauge", "Cross-shard frames queued in the ordered handoff.")
+		for i := range snaps {
+			if s := &snaps[i]; s.Shards > 0 {
+				p.sample("causalgc_handoff_depth", s, "", float64(s.Handoff))
+			}
+		}
+		p.head("causalgc_shard_outbox_depth", "gauge", "Per-shard unacknowledged outbound mutator frames.")
+		p.shardDepth(snaps, "causalgc_shard_outbox_depth", func(d siteDepthsView) int { return d.Outbox })
+		p.head("causalgc_shard_assert_journal_depth", "gauge", "Per-shard un-acknowledged edge-assert journal size.")
+		p.shardDepth(snaps, "causalgc_shard_assert_journal_depth", func(d siteDepthsView) int { return d.AssertRows })
+		p.head("causalgc_shard_pending_refs_depth", "gauge", "Per-shard buffered reference transfers.")
+		p.shardDepth(snaps, "causalgc_shard_pending_refs_depth", func(d siteDepthsView) int { return d.PendingRefs })
+	}
+
 	p.counter("causalgc_collections_total", "Local mark-sweep collections observed.",
 		snaps, func(s *Snapshot) int { return s.Collect.Collections })
 	p.counter("causalgc_collect_marked_total", "Objects found reachable, summed over collections.",
@@ -223,6 +244,36 @@ func (p *promWriter) net(snaps []Snapshot, name, help string, get func(kindView)
 			})))
 		}
 	}
+}
+
+// siteDepthsView mirrors site.Depths for the exposition writer's
+// signatures, like kindView does for netsim.KindStats.
+type siteDepthsView struct {
+	Outbox, AssertRows, DestroyRows, LegacyBundles, PendingRefs, PendingDeliveries int
+}
+
+// shardDepth writes one shard-labelled depth sample per shard of every
+// sharded snapshot.
+func (p *promWriter) shardDepth(snaps []Snapshot, name string, get func(siteDepthsView) int) {
+	for i := range snaps {
+		s := &snaps[i]
+		for shard, d := range s.ShardDepths {
+			p.sample(name, s, `shard="`+strconv.Itoa(shard)+`"`, float64(get(siteDepthsView{
+				Outbox: d.Outbox, AssertRows: d.AssertRows, DestroyRows: d.DestroyRows,
+				LegacyBundles: d.LegacyBundles, PendingRefs: d.PendingRefs,
+				PendingDeliveries: d.PendingDeliveries,
+			})))
+		}
+	}
+}
+
+func anyShards(snaps []Snapshot) bool {
+	for i := range snaps {
+		if snaps[i].Shards > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func anyPersist(snaps []Snapshot) bool {

@@ -2,6 +2,7 @@ package causalgc
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"causalgc/internal/site"
@@ -23,6 +24,7 @@ type config struct {
 	groupCommit   time.Duration
 	monitor       *monitor.Monitor
 	metricsAddr   string
+	shards        int
 }
 
 // setupMonitor composes the configured monitor into the node's observer
@@ -169,6 +171,30 @@ func WithMetricsAddr(addr string) Option {
 	return func(c *config) { c.metricsAddr = addr }
 }
 
+// WithShards stripes the node's heap, GGD engine and outbound
+// coalescer over n lock shards, keyed by cluster: commits against
+// clusters on different shards proceed under different locks, so
+// multi-core mutators scale near-linearly (see
+// BenchmarkParallelCommit) instead of serialising on one site mutex.
+// n < 1 picks runtime.GOMAXPROCS(0). Cross-shard operations ride a
+// deterministic ordered handoff queue and reuse the acknowledged-
+// retirement machinery, so every protocol invariant — journal-before-
+// send included — survives striping (DESIGN.md §3.4).
+//
+// The stripe width is sticky per persistence directory: a journal
+// written with k shards recovers with k shards regardless of the
+// option, and a node built without WithShards refuses a multi-shard
+// journal. Without this option the node runs the classic single-lock
+// runtime.
+func WithShards(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		c.shards = n
+	}
+}
+
 // WithGroupCommit batches the write-ahead log's fsync across the
 // mutator's op stream: records are written immediately but synced only
 // once per window, cutting the per-operation durability tax an order of
@@ -203,7 +229,7 @@ func WithGroupCommit(window time.Duration) Option {
 // After Close, mutator and collection operations return ErrNodeClosed;
 // read-only introspection keeps answering from the frozen state.
 type Node struct {
-	rt    *site.Runtime
+	rt    site.Instance
 	tr    transport.Transport
 	ownTr bool
 	pst   *site.Persist
@@ -215,12 +241,17 @@ type Node struct {
 
 // attachMonitor binds a monitor's snapshot sources to a freshly built
 // runtime (and its persistence store and transport, when present).
-func attachMonitor(m *monitor.Monitor, rt *site.Runtime, pst *site.Persist, tr transport.Transport) {
+func attachMonitor(m *monitor.Monitor, rt site.Instance, pst *site.Persist, tr transport.Transport) {
 	src := monitor.Sources{
 		Objects: rt.NumObjects,
 		Engine:  rt.EngineStats,
 		Frames:  rt.FrameStats,
 		Depths:  rt.Depths,
+	}
+	if sh, ok := rt.(*site.Sharded); ok {
+		src.Shards = sh.ShardCount
+		src.ShardDepths = sh.ShardDepths
+		src.Handoff = sh.HandoffDepth
 	}
 	if pst != nil {
 		src.Persist = pst.Store().Stats
@@ -259,7 +290,13 @@ func NewNode(id SiteID, opts ...Option) *Node {
 		ownTr = true
 	}
 	c.setupMonitor()
-	n := &Node{rt: site.New(id, c.tr, c.site), tr: c.tr, ownTr: ownTr, mon: c.monitor}
+	var rt site.Instance
+	if c.shards > 0 {
+		rt = site.NewSharded(id, c.tr, c.site, c.shards)
+	} else {
+		rt = site.New(id, c.tr, c.site)
+	}
+	n := &Node{rt: rt, tr: c.tr, ownTr: ownTr, mon: c.monitor}
 	if n.mon != nil {
 		attachMonitor(n.mon, n.rt, nil, n.tr)
 	}
@@ -311,13 +348,19 @@ func Recover(id SiteID, opts ...Option) (*Node, error) {
 		}
 		return nil, err
 	}
-	rt, err := site.Recover(id, c.tr, c.site, pst)
-	if err != nil {
+	var rt site.Instance
+	var err2 error
+	if c.shards > 0 {
+		rt, err2 = site.RecoverSharded(id, c.tr, c.site, pst, c.shards)
+	} else {
+		rt, err2 = site.Recover(id, c.tr, c.site, pst)
+	}
+	if err2 != nil {
 		pst.Close()
 		if ownTr {
 			closeTransport(c.tr)
 		}
-		return nil, err
+		return nil, err2
 	}
 	n := &Node{rt: rt, tr: c.tr, ownTr: ownTr, pst: pst, mon: c.monitor}
 	if n.mon != nil {
@@ -336,6 +379,16 @@ func Recover(id SiteID, opts ...Option) (*Node, error) {
 
 // ID returns the node's site identifier.
 func (n *Node) ID() SiteID { return n.rt.ID() }
+
+// Shards returns the node's lock-stripe width: 1 for the classic
+// single-lock runtime, the WithShards count (or the sticky count
+// recovered from the journal) for a sharded node.
+func (n *Node) Shards() int {
+	if sh, ok := n.rt.(*site.Sharded); ok {
+		return sh.ShardCount()
+	}
+	return 1
+}
 
 // Transport returns the transport the node is registered on.
 func (n *Node) Transport() transport.Transport { return n.tr }
