@@ -203,6 +203,21 @@ func (r *Runtime) assignSeqLocked(peer ids.SiteID, kind core.Stream, seq uint64)
 	return seq
 }
 
+// observeSeqLocked raises the (peer, kind) send counter to at least
+// seq: applying a record that carries a pre-drawn sequence (OpRecord
+// .MutSeq) must keep the shared counter ahead of every recorded draw,
+// or a post-replay draw would re-issue a sequence the peer already
+// settled. Caller holds r.mu.
+func (r *Runtime) observeSeqLocked(peer ids.SiteID, kind core.Stream, seq uint64) {
+	st := r.st
+	st.mu.Lock()
+	s := st.sendStream(peer, kind)
+	if s.nextSeq < seq {
+		s.nextSeq = seq
+	}
+	st.mu.Unlock()
+}
+
 // markRecvLocked records the settlement of one tracked inbound frame
 // and schedules a FrameAck flush for its stream — also on duplicates,
 // which re-sends the unchanged watermark and heals a lost ack. Caller
@@ -270,7 +285,11 @@ func (r *Runtime) flushAcksLocked() {
 func (r *Runtime) handleFrameAckLocked(peer ids.SiteID, m wire.FrameAck) {
 	st := r.st
 	st.mu.Lock()
-	st.fstats.AcksReceived++
+	if r.shardIndex() == 0 {
+		// fstats is shared and the ack fans out to every shard: count
+		// the network delivery once, not once per shard.
+		st.fstats.AcksReceived++
+	}
 	restart := false
 	if last, ok := st.peerEpoch[peer]; !ok || last != m.Epoch {
 		st.peerEpoch[peer] = m.Epoch

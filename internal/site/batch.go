@@ -96,14 +96,18 @@ func (r *Runtime) applyBatchLocked(ops []wire.BatchOp) ([]heap.Ref, error) {
 }
 
 // premintBatchLocked pre-mints a staged batch on a sharded site: the
-// drawn identities and placements ride the journaled BatchRecord, so
-// replay reproduces them exactly (see premintLocked). Fresh clusters
-// are pinned to the executing shard for multi-op batches — a deferred
-// reference to a cross-shard creation would name an object the
-// executing shard will never materialise — while singleton batches
-// (every Node one-op commit) keep the full placement policy. The ops
-// slice is copied before mutation: callers own their argument. Caller
-// holds r.mu.
+// drawn identities, placements and stream sequences ride the journaled
+// BatchRecord, so replay reproduces them exactly (see premintLocked).
+// Fresh clusters are pinned to the executing shard for multi-op
+// batches — a deferred reference to a cross-shard creation would name
+// an object the executing shard will never materialise — while
+// singleton batches (every Node one-op commit) keep the full placement
+// policy. Deferred arguments are resolved against the refs the batch's
+// own earlier pre-mints predict, only for the duration of each op's
+// pre-mint — the journaled record keeps its deferred form, and
+// resolveBatchOp re-derives the same refs at apply (and replay) time.
+// The ops slice is copied before mutation: callers own their argument.
+// Caller holds r.mu.
 func (r *Runtime) premintBatchLocked(ops []wire.BatchOp) []wire.BatchOp {
 	if r.sh == nil || r.replaying {
 		return ops
@@ -111,10 +115,52 @@ func (r *Runtime) premintBatchLocked(ops []wire.BatchOp) []wire.BatchOp {
 	pin := len(ops) > 1
 	minted := make([]wire.BatchOp, len(ops))
 	copy(minted, ops)
+	preds := make([]heap.Ref, len(minted))
 	for i := range minted {
-		r.premintLocked(&minted[i].Op, pin)
+		bop := &minted[i]
+		op := &bop.Op
+		holder, to, target := op.Holder, op.To, op.Target
+		if bop.HolderFrom > 0 {
+			op.Holder = preds[bop.HolderFrom-1].Obj
+		}
+		if bop.ToFrom > 0 {
+			op.To = preds[bop.ToFrom-1]
+		}
+		if bop.TargetFrom > 0 {
+			op.Target = preds[bop.TargetFrom-1]
+		}
+		r.premintLocked(op, pin)
+		preds[i] = predictedRef(r.id, *op)
+		op.Holder, op.To, op.Target = holder, to, target
 	}
 	return minted
+}
+
+// predictedRef computes the Ref a pre-minted create will return when it
+// applies — the resolution context for later ops' deferred arguments
+// during batch pre-mint. Non-creates (and ops that mint nothing)
+// predict the zero Ref, matching resolveBatchOp's treatment of a failed
+// deferred source.
+func predictedRef(id ids.SiteID, op wire.OpRecord) heap.Ref {
+	switch op.Kind {
+	case wire.OpNewLocal:
+		return heap.Ref{
+			Obj:     ids.ObjectID{Site: id, Seq: op.MintObj},
+			Cluster: ids.ClusterID{Site: id, Seq: op.MintClu},
+		}
+	case wire.OpNewLocalIn:
+		return heap.Ref{
+			Obj:     ids.ObjectID{Site: id, Seq: op.MintObj},
+			Cluster: op.Clu,
+		}
+	case wire.OpNewRemote:
+		seq := uint64(id)<<32 | op.MintObj
+		return heap.Ref{
+			Obj:     ids.ObjectID{Site: op.Site, Seq: seq},
+			Cluster: ids.ClusterID{Site: op.Site, Seq: seq},
+		}
+	}
+	return heap.NilRef
 }
 
 // resolveBatchOp substitutes deferred arguments with the Refs minted by

@@ -206,6 +206,17 @@ func Recover(id ids.SiteID, net netsim.Network, opts Options, j *Persist) (*Runt
 	if err != nil {
 		return nil, fmt.Errorf("site %v: recover: %w", id, err)
 	}
+	// A multi-shard site that crashed before its first checkpoint leaves
+	// no snapshot, only shard-tagged WAL records — the snapshot guard
+	// below never sees them, so check the tail itself. Replaying such a
+	// record into a single runtime would route its cross-shard frames to
+	// the site's own network address (no hub intercepts them) and
+	// double-apply on delivery.
+	for _, rec := range recs {
+		if rec.Shard > 0 {
+			return nil, fmt.Errorf("site %v: recover: journal written by a sharded site (WAL record for shard %d); use RecoverSharded", id, rec.Shard)
+		}
+	}
 	var r *Runtime
 	if img == nil {
 		r = newRuntime(id, net, opts)

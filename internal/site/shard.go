@@ -367,7 +367,7 @@ func (s *Sharded) maybeCheckpoint() {
 	}
 	// Failures are sticky inside Persist (the next Append surfaces
 	// them), same as the unsharded checkpointLocked contract.
-	_ = s.checkpointAll()
+	_ = s.checkpointAll(true)
 }
 
 // checkpointAll is the stop-the-world snapshot: acquire every shard
@@ -376,15 +376,22 @@ func (s *Sharded) maybeCheckpoint() {
 // cross-shard frames in a volatile queue), export the composite image,
 // and write it while still holding everything — Persist truncates the
 // WAL on snapshot, so no shard may append between build and write.
+// onlyIfDue re-checks Due under ckptMu: two drainers racing past
+// maybeCheckpoint's unlocked Due check serialise here, and the loser
+// — whose snapshot the winner just took, resetting the record count —
+// skips a redundant back-to-back stop-the-world pass.
 //
 // A concurrent drainer holding a deliverMu may have popped a frame and
 // be blocked on a shard mutex we hold: that frame is in neither the
 // queues nor the image, which is safe — its journal record lands after
 // the truncation once the drainer resumes, exactly like any
 // post-snapshot delivery.
-func (s *Sharded) checkpointAll() error {
+func (s *Sharded) checkpointAll(onlyIfDue bool) error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	if onlyIfDue && !s.journal.Due() {
+		return nil
+	}
 	for _, r := range s.shards {
 		r.mu.Lock()
 	}
@@ -451,7 +458,7 @@ func (s *Sharded) Checkpoint() error {
 	if s.journal == nil {
 		return nil
 	}
-	return s.checkpointAll()
+	return s.checkpointAll(false)
 }
 
 // --- Network delivery ----------------------------------------------------
@@ -845,7 +852,7 @@ func RecoverSharded(id ids.SiteID, net netsim.Network, opts Options, j *Persist,
 	if img != nil {
 		// Make the bumped recovery epoch durable immediately (see
 		// Recover) and bound the next replay.
-		if err := s.checkpointAll(); err != nil {
+		if err := s.checkpointAll(false); err != nil {
 			return nil, fmt.Errorf("site %v: recover sharded: checkpoint: %w", id, err)
 		}
 	}
@@ -940,9 +947,15 @@ func (s *Sharded) HasObject(obj ids.ObjectID) bool {
 	if v, ok := s.objMap.Load(obj); ok {
 		return s.shards[v.(int)].HasObject(obj)
 	}
-	// The routing entry may lag a restore or a sweep: fall back to the
-	// owner by cluster hash, then shard 0.
-	return s.shards[0].HasObject(obj)
+	// The routing entry may lag a restore or a sweep: scan every shard
+	// before concluding absence (a false negative would misreport a
+	// live object; the scan is a read-only query off the hot path).
+	for _, r := range s.shards {
+		if r.HasObject(obj) {
+			return true
+		}
+	}
+	return false
 }
 
 // ClusterRemoved asks the shard owning the cluster.

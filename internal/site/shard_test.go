@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"causalgc/internal/core"
@@ -508,5 +509,219 @@ func TestRecoverRejectsShardedImage(t *testing.T) {
 		t.Fatal("Recover accepted a 3-shard journal")
 	} else if !strings.Contains(err.Error(), "RecoverSharded") {
 		t.Errorf("error %q does not point to RecoverSharded", err)
+	}
+}
+
+// TestRecoverRejectsShardTaggedWAL: the snapshot guard above never
+// fires when a multi-shard site crashes before its first checkpoint
+// (no snapshot exists) — the shard-tagged WAL tail itself must be
+// refused, or its cross-shard creations would replay into a single
+// runtime as self-addressed network frames and double-apply.
+func TestRecoverRejectsShardTaggedWAL(t *testing.T) {
+	dir := t.TempDir()
+	net := netsim.NewSim(netsim.Faults{Seed: 1})
+	p := openShardPersist(t, dir, 1<<20) // never due: crash precedes the first snapshot
+	s, err := RecoverSharded(1, net, DefaultOptions(), p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := s.Root().Obj
+	_ = mustRef(t)(s.NewLocal(root))  // rr → shard 0
+	b := mustRef(t)(s.NewLocal(root)) // rr → shard 1
+	if got := s.clusterShardIdx(b.Cluster); got != 1 {
+		t.Fatalf("b placed on shard %d, want 1", got)
+	}
+	// Executes on b's shard: the journal gains a Shard=1 record.
+	_ = mustRef(t)(s.NewLocalIn(b.Obj, b.Cluster))
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	net.Unregister(1)
+
+	p2 := openShardPersist(t, dir, 1<<20)
+	if _, err := Recover(1, net, DefaultOptions(), p2); err == nil {
+		t.Fatal("Recover accepted a shard-tagged WAL with no snapshot")
+	} else if !strings.Contains(err.Error(), "RecoverSharded") {
+		t.Errorf("error %q does not point to RecoverSharded", err)
+	}
+	// The same journal recovers fine through the sharded path.
+	s2, err := RecoverSharded(1, net, DefaultOptions(), p2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.HasObject(b.Obj) {
+		t.Error("state lost across the refused-then-sharded recovery")
+	}
+}
+
+// TestShardedHasObjectRoutingLag: when the objMap routing entry lags (a
+// restore or sweep race), HasObject must scan every shard before
+// reporting absence — an object live on shard >0 is not a false
+// negative.
+func TestShardedHasObjectRoutingLag(t *testing.T) {
+	net := netsim.NewSim(netsim.Faults{Seed: 1})
+	s := NewSharded(1, net, DefaultOptions(), 3)
+	root := s.Root().Obj
+	_ = mustRef(t)(s.NewLocal(root))  // rr → shard 0
+	b := mustRef(t)(s.NewLocal(root)) // rr → shard 1
+	if got := s.clusterShardIdx(b.Cluster); got != 1 {
+		t.Fatalf("b placed on shard %d, want 1", got)
+	}
+	s.objMap.Delete(b.Obj) // simulate the lagging routing entry
+	if !s.HasObject(b.Obj) {
+		t.Fatal("HasObject false negative for a live object on shard 1")
+	}
+	if s.HasObject(ids.ObjectID{Site: 1, Seq: 1 << 40}) {
+		t.Fatal("HasObject true for a phantom object")
+	}
+}
+
+// TestShardedAckCountedOncePerDelivery: a FrameAck fans out to every
+// shard (retirement is per shard) but the site-level counter must tick
+// once per network delivery, not once per shard.
+func TestShardedAckCountedOncePerDelivery(t *testing.T) {
+	net := netsim.NewSim(netsim.Faults{Seed: 1})
+	s := NewSharded(1, net, DefaultOptions(), 4)
+	root := s.Root().Obj
+	a := mustRef(t)(s.NewLocal(root))
+	_ = mustRef(t)(s.NewRemote(a.Obj, 2)) // opens the mut stream toward peer 2
+	before := s.FrameStats().AcksReceived
+	s.handleNet(2, wire.FrameAck{Stream: core.StreamMut, Seq: 1})
+	if got := s.FrameStats().AcksReceived - before; got != 1 {
+		t.Fatalf("one FrameAck counted %d times across %d shards, want 1", got, s.ShardCount())
+	}
+}
+
+// TestCheckpointAllSkipsWhenNotDue: two drainers racing past
+// maybeCheckpoint's unlocked Due check serialise on ckptMu; the loser
+// must skip the redundant stop-the-world snapshot the winner just took.
+func TestCheckpointAllSkipsWhenNotDue(t *testing.T) {
+	dir := t.TempDir()
+	net := netsim.NewSim(netsim.Faults{Seed: 1})
+	p := openShardPersist(t, dir, 4)
+	s, err := RecoverSharded(1, net, DefaultOptions(), p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := s.Root().Obj
+	for i := 0; i < 6; i++ {
+		_ = mustRef(t)(s.NewLocal(root))
+	}
+	base := p.Store().Stats().Snapshots
+	if base == 0 {
+		t.Fatal("expected at least one due checkpoint after 6 appends at SnapshotEvery=4")
+	}
+	// The losing racer: it observed Due before ckptMu, the winner
+	// snapshotted meanwhile and reset the record count.
+	if err := s.checkpointAll(true); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Store().Stats().Snapshots; got != base {
+		t.Fatalf("redundant stop-the-world snapshot: %d → %d", base, got)
+	}
+	// The unconditional path (public Checkpoint, recovery) still
+	// snapshots on demand.
+	if err := s.checkpointAll(false); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Store().Stats().Snapshots; got != base+1 {
+		t.Fatalf("forced checkpoint skipped: snapshots %d, want %d", got, base+1)
+	}
+}
+
+// outboxFramesTo maps every retained mutator frame toward peer to the
+// object its Create payload carries, across all shards. A sequence
+// bound to two different payloads (or two frames sharing a sequence)
+// fails the test via the count check at the call site.
+func outboxFramesTo(s *Sharded, peer ids.SiteID) (map[uint64]ids.ObjectID, int) {
+	out := make(map[uint64]ids.ObjectID)
+	n := 0
+	for _, r := range s.shards {
+		r.mu.Lock()
+		for _, f := range r.outbox {
+			if f.to != peer {
+				continue
+			}
+			if c, ok := f.p.(wire.Create); ok {
+				n++
+				out[f.seq] = c.Obj
+			}
+		}
+		r.mu.Unlock()
+	}
+	return out, n
+}
+
+// TestShardedConcurrentSeqReplayExact pins the stream-sequence
+// pre-mint contract under real concurrency: shards committing remote
+// creations toward the same peer draw from the shared per-(peer,
+// stream) counter, and the WAL append order need not match the draw
+// order. Replay must still bind every rebuilt outbox frame to the
+// sequence the live run sent — a rebind would let a journaled FrameAck
+// retire a frame the peer never received, losing it permanently.
+func TestShardedConcurrentSeqReplayExact(t *testing.T) {
+	dir := t.TempDir()
+	net := netsim.NewAsync(netsim.Faults{Seed: 7})
+	defer net.Close()
+	p := openShardPersist(t, dir, 1<<20) // no snapshot: pure WAL replay
+	const shards = 4
+	s, err := RecoverSharded(1, net, DefaultOptions(), p, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := s.Root().Obj
+	// One anchor per shard (rr placement spreads the root's children),
+	// so the workers commit on distinct shard locks.
+	anchors := make([]heap.Ref, shards)
+	for i := range anchors {
+		anchors[i] = mustRef(t)(s.NewLocal(root))
+	}
+	// Peer 2 is never registered: the async transport drops every frame
+	// toward it, so all of them stay retained in the shards' outboxes.
+	const perWorker = 32
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(holder ids.ObjectID) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := s.NewRemote(holder, 2); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(anchors[w].Obj)
+	}
+	wg.Wait()
+	net.Quiesce()
+	if t.Failed() {
+		t.Fatal("worker commit failed")
+	}
+
+	want, n := outboxFramesTo(s, 2)
+	if n != shards*perWorker || len(want) != n {
+		t.Fatalf("retained %d frames / %d distinct seqs toward the peer, want %d of each",
+			n, len(want), shards*perWorker)
+	}
+	if err := p.Close(); err != nil { // crash
+		t.Fatal(err)
+	}
+
+	p2 := openShardPersist(t, dir, 1<<20)
+	s2, err := RecoverSharded(1, net, DefaultOptions(), p2, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n2 := outboxFramesTo(s2, 2)
+	if n2 != len(got) {
+		t.Fatalf("recovery rebound %d frames onto %d seqs: duplicate sequences", n2, len(got))
+	}
+	if !reflect.DeepEqual(want, got) {
+		for seq, obj := range want {
+			if got[seq] != obj {
+				t.Errorf("seq %d: live frame carried %v, replay rebound it to %v", seq, obj, got[seq])
+			}
+		}
+		t.Fatalf("replay rebound outbox sequences (%d live vs %d recovered rows)", len(want), len(got))
 	}
 }

@@ -602,15 +602,24 @@ func (r *Runtime) runOpLocked(op wire.OpRecord) (heap.Ref, error) {
 }
 
 // premintLocked draws the identities op will mint and records them
-// (plus the placement shard for fresh clusters) on the record before it
-// is journaled. Only sharded sites pre-mint: with concurrent shards the
-// WAL append order need not match the live mint order, so replaying the
-// counters in WAL order would shift identities — the recorded values
-// make replay exact. An unsharded runtime replays under one lock, where
-// WAL order IS mint order, and keeps its legacy (mint-at-apply) format.
-// During replay the recorded values are authoritative and nothing is
-// drawn. pin forces fresh clusters onto the executing shard (multi-op
-// batches). Caller holds r.mu; the op has passed stageOpLocked.
+// (plus the placement shard for fresh clusters and the mutator-stream
+// sequence of any frame the op emits) on the record before it is
+// journaled. Only sharded sites pre-mint: with concurrent shards the
+// WAL append order need not match the live mint (or seq-draw) order,
+// so replaying the counters in WAL order would shift identities and
+// rebind frame sequences — the recorded values make replay exact. An
+// unsharded runtime replays under one lock, where WAL order IS mint
+// order, and keeps its legacy (mint-at-apply) format. During replay
+// the recorded values are authoritative and nothing is drawn. pin
+// forces fresh clusters onto the executing shard (multi-op batches).
+// Caller holds r.mu; the op has passed stageOpLocked. For batch ops
+// with deferred arguments the caller passes a copy with the arguments
+// resolved against the batch's own predicted mints (premintBatchLocked).
+//
+// A pre-drawn sequence whose op later fails to apply (or whose journal
+// append fails) leaves a gap in the stream, exactly like a pre-minted
+// identity that is never materialised: the next Refresh's floor
+// advisory walks the peer's watermark over it.
 func (r *Runtime) premintLocked(op *wire.OpRecord, pin bool) {
 	if r.sh == nil || r.replaying {
 		return
@@ -627,9 +636,17 @@ func (r *Runtime) premintLocked(op *wire.OpRecord, pin bool) {
 		}
 		cl := ids.ClusterID{Site: r.id, Seq: op.MintClu}
 		op.Place = r.sh.place(cl, holderClu, pin)
+		if op.Place-1 != r.sh.index {
+			// Cross-shard placement: the apply emits a Create through the
+			// handoff queue, addressed to the own site.
+			op.MutSeq = r.assignMutSeqLocked(r.id)
+		}
 	case wire.OpNewLocalIn:
 		op.MintObj = ctr.MintObj()
 		op.Place = r.sh.clusterShard(op.Clu) + 1
+		if op.Place-1 != r.sh.index {
+			op.MutSeq = r.assignMutSeqLocked(r.id)
+		}
 	case wire.OpNewCluster:
 		op.MintClu = ctr.MintClu()
 		cl := ids.ClusterID{Site: r.id, Seq: op.MintClu}
@@ -639,7 +656,39 @@ func (r *Runtime) premintLocked(op *wire.OpRecord, pin bool) {
 		r.st.mint++
 		op.MintObj = r.st.mint
 		r.st.mu.Unlock()
+		op.MutSeq = r.assignMutSeqLocked(op.Site)
+	case wire.OpSendRef:
+		op.MutSeq = r.premintSendRefSeqLocked(op.To, op.Target)
 	}
+}
+
+// premintSendRefSeqLocked pre-draws the mutator-stream sequence of the
+// RefTransfer a SendRef will emit, mirroring the apply-time conditions
+// exactly (same lock hold, so the state cannot change in between): no
+// frame for a destination this partition owns, and no sequence for
+// frames SentRef gives no dedup identity (intra-cluster copies, where
+// target and destination share a cluster — a staged holder is always
+// live, hence its engine process registered). Caller holds r.mu.
+func (r *Runtime) premintSendRefSeqLocked(to, target heap.Ref) uint64 {
+	if to.Obj.Site == r.id && r.owns(to.Cluster) {
+		return 0
+	}
+	if target.Cluster == to.Cluster {
+		return 0
+	}
+	return r.assignMutSeqLocked(to.Obj.Site)
+}
+
+// mutSeqLocked resolves the sequence of one outbound mutator frame:
+// the pre-drawn value when the record carries one (sharded commit, or
+// a replay of it) — observed into the shared counter so later draws
+// stay above it — and a live draw otherwise. Caller holds r.mu.
+func (r *Runtime) mutSeqLocked(preminted uint64, target ids.SiteID) uint64 {
+	if preminted != 0 {
+		r.observeSeqLocked(target, core.StreamMut, preminted)
+		return preminted
+	}
+	return r.assignMutSeqLocked(target)
 }
 
 // NewLocal creates an object in a fresh cluster on this site, referenced
@@ -740,7 +789,7 @@ func (r *Runtime) applyOpLocked(op wire.OpRecord) (heap.Ref, error) {
 	case wire.OpNewRemote:
 		return r.applyNewRemoteLocked(op)
 	case wire.OpSendRef:
-		return heap.NilRef, r.applySendRefLocked(op.Holder, op.To, op.Target)
+		return heap.NilRef, r.applySendRefLocked(op.Holder, op.To, op.Target, op.MutSeq)
 	case wire.OpAddRef:
 		_, err := r.heap.AddRef(op.Holder, op.Target)
 		r.settleLocked()
@@ -786,7 +835,7 @@ func (r *Runtime) applyNewLocalLocked(op wire.OpRecord) (heap.Ref, error) {
 	if op.Place != 0 && op.Place-1 != r.shardIndex() {
 		// The placement policy put the fresh cluster on a sibling shard:
 		// create it there through the self-as-peer handoff path.
-		return r.createOnShardLocked(holder, obj, cl)
+		return r.createOnShardLocked(holder, obj, cl, op.MutSeq)
 	}
 	r.engine.Register(cl)
 	var o *heap.Object
@@ -822,7 +871,7 @@ func (r *Runtime) applyNewLocalInLocked(op wire.OpRecord) (heap.Ref, error) {
 	}
 	if op.Place != 0 && op.Place-1 != r.shardIndex() {
 		// The target cluster lives on a sibling shard.
-		return r.createOnShardLocked(holder, obj, cl)
+		return r.createOnShardLocked(holder, obj, cl, op.MutSeq)
 	}
 	r.engine.Register(cl)
 	var o *heap.Object
@@ -848,9 +897,10 @@ func (r *Runtime) applyNewLocalInLocked(op wire.OpRecord) (heap.Ref, error) {
 // applyNewRemoteLocked with the own site as target — the creation frame
 // travels the ordered handoff queue instead of the network, and every
 // invariant (journal-before-send, outbox retention, FrameAck-to-self
-// retirement, zombie-drop at the owner) comes along for free. Caller
-// holds r.mu.
-func (r *Runtime) createOnShardLocked(holder ids.ObjectID, obj ids.ObjectID, cl ids.ClusterID) (heap.Ref, error) {
+// retirement, zombie-drop at the owner) comes along for free. seq is
+// the record's pre-drawn stream sequence (op.MutSeq). Caller holds
+// r.mu.
+func (r *Runtime) createOnShardLocked(holder ids.ObjectID, obj ids.ObjectID, cl ids.ClusterID, seq uint64) (heap.Ref, error) {
 	ho := r.heap.Object(holder)
 	ref := heap.Ref{Obj: obj, Cluster: cl}
 	// Order matters, exactly as in applyNewRemoteLocked: AddRefIntro
@@ -865,7 +915,7 @@ func (r *Runtime) createOnShardLocked(holder ids.ObjectID, obj ids.ObjectID, cl 
 		Stamp:   stamp,
 		Obj:     obj,
 		Cluster: cl,
-		Seq:     r.assignMutSeqLocked(r.id),
+		Seq:     r.mutSeqLocked(seq, r.id),
 	}
 	r.emitLocked(r.id, create)
 	r.recordOutboundLocked(r.id, create.Seq, create)
@@ -915,7 +965,7 @@ func (r *Runtime) applyNewRemoteLocked(op wire.OpRecord) (heap.Ref, error) {
 		Stamp:   stamp,
 		Obj:     obj,
 		Cluster: cl,
-		Seq:     r.assignMutSeqLocked(target),
+		Seq:     r.mutSeqLocked(op.MutSeq, target),
 	}
 	r.emitLocked(target, create)
 	r.recordOutboundLocked(target, create.Seq, create)
@@ -923,7 +973,7 @@ func (r *Runtime) applyNewRemoteLocked(op wire.OpRecord) (heap.Ref, error) {
 	return ref, nil
 }
 
-func (r *Runtime) applySendRefLocked(fromObj ids.ObjectID, to heap.Ref, target heap.Ref) error {
+func (r *Runtime) applySendRefLocked(fromObj ids.ObjectID, to heap.Ref, target heap.Ref, preSeq uint64) error {
 	fo := r.heap.Object(fromObj)
 	if fo == nil {
 		return fmt.Errorf("site %v: SendRef from %v: %w", r.id, fromObj, heap.ErrNoSuchObject)
@@ -965,7 +1015,7 @@ func (r *Runtime) applySendRefLocked(fromObj ids.ObjectID, to heap.Ref, target h
 	// of the retirement stream and the outbox — losing one to a crash is
 	// loss-equivalent, which the protocol tolerates.
 	if seq != 0 {
-		xfer.Seq = r.assignMutSeqLocked(to.Obj.Site)
+		xfer.Seq = r.mutSeqLocked(preSeq, to.Obj.Site)
 	}
 	r.emitLocked(to.Obj.Site, xfer)
 	r.recordOutboundLocked(to.Obj.Site, xfer.Seq, xfer)

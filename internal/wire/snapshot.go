@@ -36,7 +36,8 @@ import (
 // per-shard state blocks for shards 1..N-1 (shard 0 keeps the legacy
 // top-level fields, so a 1-shard image is byte-compatible with v3
 // modulo the version number), the round-robin placement cursor, and
-// minted identities recorded on OpRecords. Older images migrate
+// minted identities and pre-drawn stream sequences recorded on
+// OpRecords. Older images migrate
 // forward losslessly — every new field starts zero, which decodes as
 // "one shard, identities re-minted from counters", exactly the
 // pre-shard behaviour — so DecodeSnapshot accepts v2 and v3 too.
@@ -266,8 +267,9 @@ func (k OpKind) String() string {
 // identically with the Mint* fields left zero. Sharded runtimes
 // journal concurrently, so WAL order no longer equals mint order: the
 // executing shard pre-mints at stage time and records the drawn
-// counter values (MintObj/MintClu) plus the placement decision (Place)
-// so replay reproduces the exact identities and routing regardless of
+// counter values (MintObj/MintClu), the placement decision (Place) and
+// the drawn mutator-stream sequence (MutSeq) so replay reproduces the
+// exact identities, routing and frame sequences regardless of
 // interleaving. Zero values mean "mint from the counter" — legacy
 // records replay unchanged.
 type OpRecord struct {
@@ -285,6 +287,17 @@ type OpRecord struct {
 	MintObj uint64
 	MintClu uint64
 	Place   int
+	// MutSeq is the pre-drawn mutator-stream sequence of the frame this
+	// op emits (NewRemote's Create toward Site, a cross-shard create
+	// toward the own site, SendRef's sequenced RefTransfer toward To's
+	// site). Like the Mint* fields it is recorded by sharded sites only:
+	// seqs are drawn from the shared per-(peer, stream) counter, so with
+	// concurrent shards WAL order need not match draw order, and a
+	// replay that re-drew in WAL order would bind different sequences to
+	// the rebuilt outbox frames than the live run sent — a journaled
+	// FrameAck would then retire a frame the peer never received. Zero =
+	// draw at apply time (unsharded runtimes, frameless ops).
+	MutSeq uint64
 }
 
 // DeliverRecord is one incoming message delivery.
